@@ -1,0 +1,230 @@
+// Command pigeonring demonstrates the four τ-selection searches on
+// synthetic data from the command line, comparing the pigeonhole
+// baseline against the pigeonring filter.
+//
+// Usage:
+//
+//	pigeonring -problem hamming|set|string|graph [-n 5000] [-tau τ] [-l chain] [-queries 10]
+//
+// For each sampled query it prints the result count and the candidate
+// counts of the baseline (l = 1) and the pigeonring filter, plus the
+// timing totals.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/hamming"
+	"repro/internal/setsim"
+	"repro/internal/strdist"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pigeonring: ")
+	problem := flag.String("problem", "hamming", "hamming | set | string | graph")
+	n := flag.Int("n", 5000, "database size")
+	tau := flag.Float64("tau", -1, "threshold (defaults per problem)")
+	l := flag.Int("l", 0, "chain length (defaults to the paper's tuning)")
+	queries := flag.Int("queries", 10, "number of sampled queries")
+	seed := flag.Int64("seed", 42, "dataset seed")
+	flag.Parse()
+
+	switch *problem {
+	case "hamming":
+		runHamming(*n, *tau, *l, *queries, *seed)
+	case "set":
+		runSet(*n, *tau, *l, *queries, *seed)
+	case "string":
+		runString(*n, *tau, *l, *queries, *seed)
+	case "graph":
+		runGraph(*n, *tau, *l, *queries, *seed)
+	default:
+		log.Printf("unknown problem %q", *problem)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+type tally struct {
+	base, ring, results int
+	baseMS, ringMS      float64
+}
+
+func (t tally) report(baseName string, queries int) {
+	fmt.Printf("\n%-12s candidates: %d (%.1f/query)\n", baseName, t.base, float64(t.base)/float64(queries))
+	fmt.Printf("%-12s candidates: %d (%.1f/query)\n", "Ring", t.ring, float64(t.ring)/float64(queries))
+	fmt.Printf("results: %d\n", t.results)
+	fmt.Printf("avg time: %s %.3fms, Ring %.3fms (speedup %.2fx)\n",
+		baseName, t.baseMS/float64(queries), t.ringMS/float64(queries), t.baseMS/t.ringMS)
+}
+
+func timed(fn func()) float64 {
+	start := time.Now()
+	fn()
+	return float64(time.Since(start).Nanoseconds()) / 1e6
+}
+
+func runHamming(n int, tauF float64, l, queries int, seed int64) {
+	tau := 24
+	if tauF >= 0 {
+		tau = int(tauF)
+	}
+	if l <= 0 {
+		l = 6
+	}
+	vecs := dataset.GIST(n, seed)
+	db, err := hamming.NewDB(vecs, vecs[0].Dim()/16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Hamming distance search: n=%d d=%d τ=%d l=%d\n", n, vecs[0].Dim(), tau, l)
+	var t tally
+	for _, qi := range dataset.SampleQueries(n, queries, seed) {
+		q := vecs[qi]
+		t.baseMS += timed(func() {
+			_, st, err := db.Search(q, tau, hamming.GPHOptions())
+			if err != nil {
+				log.Fatal(err)
+			}
+			t.base += st.Candidates
+		})
+		t.ringMS += timed(func() {
+			res, st, err := db.Search(q, tau, hamming.RingOptions(l))
+			if err != nil {
+				log.Fatal(err)
+			}
+			t.ring += st.Candidates
+			t.results += len(res)
+		})
+	}
+	t.report("GPH", queries)
+}
+
+func runSet(n int, tauF float64, l, queries int, seed int64) {
+	tau := 0.8
+	if tauF > 0 {
+		tau = tauF
+	}
+	if l <= 0 {
+		l = 2
+	}
+	sets := dataset.DBLP(n, seed)
+	db, err := setsim.NewPKWiseDB(sets, setsim.Config{Measure: setsim.Jaccard, Tau: tau, M: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Set similarity search (Jaccard): n=%d τ=%g l=%d\n", n, tau, l)
+	var t tally
+	for _, qi := range dataset.SampleQueries(n, queries, seed) {
+		q := sets[qi]
+		t.baseMS += timed(func() {
+			_, st, err := db.Search(q, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t.base += st.Candidates
+		})
+		t.ringMS += timed(func() {
+			res, st, err := db.Search(q, l)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t.ring += st.Candidates
+			t.results += len(res)
+		})
+	}
+	t.report("pkwise", queries)
+}
+
+func runString(n int, tauF float64, l, queries int, seed int64) {
+	tau := 2
+	if tauF >= 0 {
+		tau = int(tauF)
+	}
+	if l <= 0 {
+		l = 3
+		if tau+1 < l {
+			l = tau + 1
+		}
+	}
+	strs := dataset.IMDB(n, seed)
+	kappa := 2
+	if tau <= 1 {
+		kappa = 3
+	}
+	dict, err := strdist.BuildGramDict(strs, kappa)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := strdist.NewDB(strs, dict, tau)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("String edit distance search: n=%d τ=%d κ=%d l=%d\n", n, tau, kappa, l)
+	var t tally
+	for _, qi := range dataset.SampleQueries(n, queries, seed) {
+		q := strs[qi]
+		t.baseMS += timed(func() {
+			_, st, err := db.Search(q, strdist.PivotalOptions())
+			if err != nil {
+				log.Fatal(err)
+			}
+			t.base += st.Cand2 + st.Fallback
+		})
+		t.ringMS += timed(func() {
+			res, st, err := db.Search(q, strdist.RingOptions(l))
+			if err != nil {
+				log.Fatal(err)
+			}
+			t.ring += st.Cand2 + st.Fallback
+			t.results += len(res)
+		})
+	}
+	t.report("Pivotal", queries)
+}
+
+func runGraph(n int, tauF float64, l, queries int, seed int64) {
+	tau := 3
+	if tauF >= 0 {
+		tau = int(tauF)
+	}
+	if l <= 0 {
+		l = tau - 1
+		if l < 1 {
+			l = 1
+		}
+	}
+	graphs := dataset.AIDS(n, seed)
+	db, err := graph.NewDB(graphs, tau)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Graph edit distance search: n=%d τ=%d l=%d\n", n, tau, l)
+	var t tally
+	for _, qi := range dataset.SampleQueries(n, queries, seed) {
+		q := graphs[qi]
+		t.baseMS += timed(func() {
+			_, st, err := db.Search(q, graph.ParsOptions())
+			if err != nil {
+				log.Fatal(err)
+			}
+			t.base += st.Candidates
+		})
+		t.ringMS += timed(func() {
+			res, st, err := db.Search(q, graph.RingOptions(l))
+			if err != nil {
+				log.Fatal(err)
+			}
+			t.ring += st.Candidates
+			t.results += len(res)
+		})
+	}
+	t.report("Pars", queries)
+}

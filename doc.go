@@ -1,0 +1,17 @@
+// Package repro is a from-scratch Go reproduction of "Pigeonring: A
+// Principle for Faster Thresholded Similarity Search" (Qin and Xiao,
+// VLDB 2018).
+//
+// The library lives under internal/: core implements the pigeonring
+// principle and the ⟨F, B, D⟩ filtering framework; hamming, setsim,
+// strdist and graph implement the four case-study search systems with
+// their pigeonhole baselines (GPH, pkwise/AdaptSearch/PartAlloc,
+// Pivotal, Pars); analysis implements the §3.1 filtering-power model;
+// dataset generates the synthetic stand-ins for the paper's eight
+// datasets; bench regenerates every evaluation figure.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// substitutions, and EXPERIMENTS.md for paper-versus-measured results.
+// The benchmarks in bench_test.go regenerate each figure under
+// `go test -bench`.
+package repro

@@ -1,0 +1,61 @@
+// Chemical compound lookup with graph edit distance search.
+//
+// The paper's structure-search application (§2.2): find the compounds
+// in a molecule database whose graph edit distance to a query
+// structure is within τ. This example builds an AIDS-like compound
+// collection, runs the Pars partition filter (pigeonhole) and the Ring
+// filter (pigeonring), and reports candidates and verified matches.
+//
+// Run with:
+//
+//	go run ./examples/moleculesearch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+)
+
+func main() {
+	log.SetFlags(0)
+	const tau = 3
+
+	compounds := dataset.AIDS(1500, 31)
+	db, err := graph.NewDB(compounds, tau)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	queries := dataset.SampleQueries(len(compounds), 10, 31)
+	fmt.Printf("database: %d compounds, GED τ = %d\n\n", len(compounds), tau)
+	fmt.Printf("%-8s %18s %18s %10s\n", "query", "Pars candidates", "Ring candidates", "results")
+
+	var parsTotal, ringTotal, resTotal int
+	for _, qi := range queries {
+		q := compounds[qi]
+		parsRes, parsStats, err := db.Search(q, graph.ParsOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		ringRes, ringStats, err := db.Search(q, graph.RingOptions(tau-1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(parsRes) != len(ringRes) {
+			log.Fatal("exactness violated: the two filters disagree")
+		}
+		fmt.Printf("%-8d %18d %18d %10d\n", qi, parsStats.Candidates, ringStats.Candidates, len(ringRes))
+		parsTotal += parsStats.Candidates
+		ringTotal += ringStats.Candidates
+		resTotal += len(ringRes)
+	}
+	fmt.Printf("%-8s %18d %18d %10d\n", "total", parsTotal, ringTotal, resTotal)
+
+	if ringTotal > 0 {
+		fmt.Printf("\nRing verified %.1f%% of what Pars verified, with identical results\n",
+			100*float64(ringTotal)/float64(parsTotal))
+	}
+}

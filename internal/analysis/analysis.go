@@ -1,0 +1,343 @@
+// Package analysis implements the filtering performance model of
+// Section 3.1 of the pigeonring paper: given m independent, identically
+// distributed integer-valued boxes and a threshold τ, it computes the
+// probability that a random object is a candidate of the chain-length-l
+// pigeonring filter, the probability that it is a result, and the
+// expected ratio of false positives to results (Figure 2 of the paper).
+//
+// The computation follows the paper's construction: rings without a
+// prefix-viable chain of length l decompose uniquely into "words" —
+// either a single non-viable box or a suffix-non-viable chain of length
+// l' in [2..l] whose (l'−1)-prefix is prefix-viable. The M(x) recurrence
+// counts the probability that a linear sequence of x boxes is a
+// concatenation of words (a target chain); N(x) corrects for the ring
+// cut falling in the interior of a word.
+package analysis
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Dist is a probability mass function over the non-negative integers
+// {0, 1, ..., len(Dist)-1}. Dist[v] is P(X = v).
+type Dist []float64
+
+// Binomial returns the Binomial(n, p) distribution. It is the per-box
+// distance distribution for Hamming distance search over w = n uniform
+// random bits per partition (p = 1/2).
+func Binomial(n int, p float64) Dist {
+	if n < 0 {
+		panic("analysis: Binomial needs n >= 0")
+	}
+	d := make(Dist, n+1)
+	// Iterative pmf recurrence: pmf(k+1) = pmf(k)·(n−k)/(k+1)·p/(1−p).
+	q := 1 - p
+	cur := 1.0
+	for i := 0; i < n; i++ {
+		cur *= q
+	}
+	for k := 0; k <= n; k++ {
+		d[k] = cur
+		if k < n {
+			cur = cur * float64(n-k) / float64(k+1) * p / q
+		}
+	}
+	return d
+}
+
+// Uniform returns the uniform distribution over {0, ..., max}.
+func Uniform(max int) Dist {
+	d := make(Dist, max+1)
+	for i := range d {
+		d[i] = 1 / float64(max+1)
+	}
+	return d
+}
+
+// Mean returns E[X].
+func (d Dist) Mean() float64 {
+	var s float64
+	for v, p := range d {
+		s += float64(v) * p
+	}
+	return s
+}
+
+// Total returns the total mass (1 up to rounding for a proper pmf).
+func (d Dist) Total() float64 {
+	var s float64
+	for _, p := range d {
+		s += p
+	}
+	return s
+}
+
+// CDF returns P(X ≤ x) for a real x.
+func (d Dist) CDF(x float64) float64 {
+	var s float64
+	for v, p := range d {
+		if float64(v) <= x {
+			s += p
+		}
+	}
+	return s
+}
+
+// Tail returns P(X > x) for a real x.
+func (d Dist) Tail(x float64) float64 {
+	var s float64
+	for v, p := range d {
+		if float64(v) > x {
+			s += p
+		}
+	}
+	return s
+}
+
+// Convolve returns the distribution of the sum of two independent
+// variables with distributions a and b.
+func Convolve(a, b Dist) Dist {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make(Dist, len(a)+len(b)-1)
+	for i, pa := range a {
+		if pa == 0 {
+			continue
+		}
+		for j, pb := range b {
+			out[i+j] += pa * pb
+		}
+	}
+	return out
+}
+
+// ConvolveN returns the distribution of the sum of n independent copies.
+func ConvolveN(d Dist, n int) Dist {
+	out := Dist{1}
+	for i := 0; i < n; i++ {
+		out = Convolve(out, d)
+	}
+	return out
+}
+
+// Sample draws a value from the distribution using rng.
+func (d Dist) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	var acc float64
+	for v, p := range d {
+		acc += p
+		if u < acc {
+			return v
+		}
+	}
+	return len(d) - 1
+}
+
+// Model is the §3.1 setting: M iid boxes with per-box pmf P, selection
+// threshold Tau (the paper sets n = τ), uniform quotas l'·τ/m.
+type Model struct {
+	P   Dist
+	M   int
+	Tau float64
+}
+
+// NewHammingModel returns the model for Hamming distance search over
+// d-dimensional uniform random binary vectors partitioned into m
+// equal-width parts: each box is Binomial(d/m, 1/2). d must be divisible
+// by m.
+func NewHammingModel(d, m int, tau float64) Model {
+	if m <= 0 || d%m != 0 {
+		panic(fmt.Sprintf("analysis: d=%d not divisible by m=%d", d, m))
+	}
+	return Model{P: Binomial(d/m, 0.5), M: m, Tau: tau}
+}
+
+// quota returns l·τ/m, multiplying before dividing for exactness.
+func (mod Model) quota(l int) float64 {
+	return float64(l) * mod.Tau / float64(mod.M)
+}
+
+// WordProb returns Pr(w_i), the probability that a chain of length i is
+// a word: for i = 1, a non-viable box; for i ≥ 2, a suffix-non-viable
+// chain whose (i−1)-prefix is prefix-viable. Equivalently (and as
+// implemented): partial sums s_j ≤ j·τ/m for j in [1..i−1] and the full
+// sum s_i > i·τ/m.
+func (mod Model) WordProb(i int) float64 {
+	if i < 1 {
+		panic("analysis: word length must be >= 1")
+	}
+	if i == 1 {
+		return mod.P.Tail(mod.quota(1))
+	}
+	// DP over the partial-sum distribution restricted to viable prefixes.
+	maxSum := (i - 1) * (len(mod.P) - 1)
+	cur := make([]float64, maxSum+1)
+	for v, p := range mod.P {
+		if float64(v) <= mod.quota(1) {
+			cur[v] = p
+		}
+	}
+	for j := 2; j <= i-1; j++ {
+		next := make([]float64, maxSum+1)
+		qj := mod.quota(j)
+		for s, ps := range cur {
+			if ps == 0 {
+				continue
+			}
+			for v, pv := range mod.P {
+				t := s + v
+				if float64(t) <= qj && t <= maxSum {
+					next[t] += ps * pv
+				}
+			}
+		}
+		cur = next
+	}
+	// Final box pushes the sum past the quota.
+	qi := mod.quota(i)
+	var prob float64
+	for s, ps := range cur {
+		if ps == 0 {
+			continue
+		}
+		prob += ps * mod.P.Tail(qi-float64(s))
+	}
+	return prob
+}
+
+// NoCandidateProb returns N(m) = 1 − Pr(CAND_l): the probability that a
+// ring of M iid boxes contains no prefix-viable chain of length l.
+func (mod Model) NoCandidateProb(l int) float64 {
+	if l < 1 || l > mod.M {
+		panic(fmt.Sprintf("analysis: chain length l=%d out of [1..%d]", l, mod.M))
+	}
+	w := make([]float64, l+1)
+	for i := 1; i <= l; i++ {
+		w[i] = mod.WordProb(i)
+	}
+	// M(x): probability a linear chain of x boxes is a target chain.
+	mrec := make([]float64, mod.M+1)
+	mrec[0] = 1
+	for x := 1; x <= mod.M; x++ {
+		lim := x
+		if lim > l {
+			lim = l
+		}
+		for i := 1; i <= lim; i++ {
+			mrec[x] += mrec[x-i] * w[i]
+		}
+	}
+	// N(m): shift correction for the ring cut landing inside a word.
+	n := mrec[mod.M]
+	if mod.M > 1 {
+		lim := mod.M
+		if lim > l {
+			lim = l
+		}
+		for i := 2; i <= lim; i++ {
+			n += mrec[mod.M-i] * float64(i-1) * w[i]
+		}
+	}
+	return n
+}
+
+// CandidateProb returns Pr(CAND_l), the probability that a random object
+// survives the chain-length-l pigeonring filter.
+func (mod Model) CandidateProb(l int) float64 {
+	return 1 - mod.NoCandidateProb(l)
+}
+
+// ResultProb returns Pr(RES) = P(Σ boxes ≤ τ).
+func (mod Model) ResultProb() float64 {
+	return ConvolveN(mod.P, mod.M).CDF(mod.Tau)
+}
+
+// CandidateToResultRatio returns Pr(CAND_l)/Pr(RES), the ratio stated in
+// §3.1 of the paper.
+func (mod Model) CandidateToResultRatio(l int) float64 {
+	return mod.CandidateProb(l) / mod.ResultProb()
+}
+
+// FalsePositiveRatio returns (Pr(CAND_l) − Pr(RES))/Pr(RES), the
+// expected number of false positives per result, which is what Figure 2
+// plots (it can fall below 1, and reaches 0 at l = m where candidates
+// are exactly results).
+func (mod Model) FalsePositiveRatio(l int) float64 {
+	res := mod.ResultProb()
+	fp := mod.CandidateProb(l) - res
+	if fp < 0 {
+		fp = 0 // guard against rounding in the recurrences
+	}
+	return fp / res
+}
+
+// SimulateCandidateProb estimates Pr(CAND_l) by Monte Carlo: draw rings
+// of M iid boxes and test the filter directly. It exists to validate the
+// closed-form recurrences and to handle the footnote-6 generalization
+// (non-identical boxes) where no closed form is given.
+func (mod Model) SimulateCandidateProb(l, trials int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	boxes := make([]int, mod.M)
+	hits := 0
+	for t := 0; t < trials; t++ {
+		for i := range boxes {
+			boxes[i] = mod.P.Sample(rng)
+		}
+		if hasPrefixViableChain(boxes, mod.M, l, mod.Tau) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(trials)
+}
+
+// hasPrefixViableChain is a self-contained strong-form check used by the
+// simulator (kept independent of package core so that analysis validates
+// the model, not the filter implementation).
+func hasPrefixViableChain(b []int, m, l int, tau float64) bool {
+	for i := 0; i < m; i++ {
+		ok := true
+		sum := 0
+		for lp := 1; lp <= l; lp++ {
+			sum += b[(i+lp-1)%m]
+			if float64(sum)*float64(m) > float64(lp)*tau {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// NewUniformBoxModel returns the model the paper plots in Figure 2
+// ("a synthetic dataset with uniform distribution"): each of the m
+// boxes of a d-dimensional Hamming search is uniformly distributed
+// over [0, d/m]. d must be divisible by m.
+func NewUniformBoxModel(d, m int, tau float64) Model {
+	if m <= 0 || d%m != 0 {
+		panic(fmt.Sprintf("analysis: d=%d not divisible by m=%d", d, m))
+	}
+	return Model{P: Uniform(d / m), M: m, Tau: tau}
+}
+
+// Figure2Point is one curve point of Figure 2.
+type Figure2Point struct {
+	ChainLength int
+	Ratio       float64
+}
+
+// Figure2Series reproduces one curve of Figure 2: the false-positive to
+// result ratio as a function of chain length for Hamming distance
+// search with uniformly distributed per-box distances.
+func Figure2Series(d, m int, tau float64, maxL int) []Figure2Point {
+	mod := NewUniformBoxModel(d, m, tau)
+	pts := make([]Figure2Point, 0, maxL)
+	for l := 1; l <= maxL && l <= m; l++ {
+		pts = append(pts, Figure2Point{ChainLength: l, Ratio: mod.FalsePositiveRatio(l)})
+	}
+	return pts
+}

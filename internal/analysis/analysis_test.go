@@ -1,0 +1,294 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestBinomialBasics(t *testing.T) {
+	d := Binomial(16, 0.5)
+	if len(d) != 17 {
+		t.Fatalf("len = %d", len(d))
+	}
+	if !almostEq(d.Total(), 1, 1e-12) {
+		t.Errorf("total mass = %v", d.Total())
+	}
+	if !almostEq(d.Mean(), 8, 1e-9) {
+		t.Errorf("mean = %v", d.Mean())
+	}
+	// Symmetry of Binomial(n, 1/2).
+	for k := 0; k <= 16; k++ {
+		if !almostEq(d[k], d[16-k], 1e-15) {
+			t.Errorf("pmf asymmetric at %d: %v vs %v", k, d[k], d[16-k])
+		}
+	}
+	// Binomial(4, 0.5) against hand values.
+	d4 := Binomial(4, 0.5)
+	want := []float64{1.0 / 16, 4.0 / 16, 6.0 / 16, 4.0 / 16, 1.0 / 16}
+	for k, w := range want {
+		if !almostEq(d4[k], w, 1e-12) {
+			t.Errorf("Binomial(4,.5)[%d] = %v, want %v", k, d4[k], w)
+		}
+	}
+	// Skewed binomial mean.
+	d3 := Binomial(10, 0.3)
+	if !almostEq(d3.Mean(), 3, 1e-9) {
+		t.Errorf("Binomial(10,.3) mean = %v", d3.Mean())
+	}
+}
+
+func TestUniformDist(t *testing.T) {
+	d := Uniform(3)
+	if !almostEq(d.Total(), 1, 1e-12) || !almostEq(d.Mean(), 1.5, 1e-12) {
+		t.Errorf("Uniform(3): total=%v mean=%v", d.Total(), d.Mean())
+	}
+}
+
+func TestCDFTail(t *testing.T) {
+	d := Uniform(3) // {0,1,2,3} each 1/4
+	cases := []struct{ x, cdf float64 }{
+		{-1, 0}, {0, 0.25}, {0.5, 0.25}, {1, 0.5}, {2.9, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := d.CDF(c.x); !almostEq(got, c.cdf, 1e-12) {
+			t.Errorf("CDF(%v) = %v, want %v", c.x, got, c.cdf)
+		}
+		if got := d.Tail(c.x); !almostEq(got, 1-c.cdf, 1e-12) {
+			t.Errorf("Tail(%v) = %v, want %v", c.x, got, 1-c.cdf)
+		}
+	}
+}
+
+func TestConvolve(t *testing.T) {
+	// Sum of two fair coins = Binomial(2, 1/2).
+	coin := Binomial(1, 0.5)
+	two := Convolve(coin, coin)
+	want := Binomial(2, 0.5)
+	for k := range want {
+		if !almostEq(two[k], want[k], 1e-12) {
+			t.Errorf("Convolve coin²[%d] = %v, want %v", k, two[k], want[k])
+		}
+	}
+	// ConvolveN builds the same thing.
+	eight := ConvolveN(coin, 8)
+	want8 := Binomial(8, 0.5)
+	for k := range want8 {
+		if !almostEq(eight[k], want8[k], 1e-12) {
+			t.Errorf("ConvolveN coin⁸[%d] = %v, want %v", k, eight[k], want8[k])
+		}
+	}
+}
+
+// TestBinomialAdditivity: sum of m Binomial(w, p) boxes is
+// Binomial(m·w, p) — this is also what makes ResultProb cross-checkable.
+func TestBinomialAdditivity(t *testing.T) {
+	prop := func(wRaw, mRaw uint8) bool {
+		w := 1 + int(wRaw)%8
+		m := 1 + int(mRaw)%5
+		got := ConvolveN(Binomial(w, 0.5), m)
+		want := Binomial(w*m, 0.5)
+		for k := range want {
+			if !almostEq(got[k], want[k], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleDistribution(t *testing.T) {
+	d := Binomial(8, 0.5)
+	rng := rand.New(rand.NewSource(7))
+	const trials = 200000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		sum += float64(d.Sample(rng))
+	}
+	if got := sum / trials; !almostEq(got, 4, 0.05) {
+		t.Errorf("sample mean = %v, want ≈4", got)
+	}
+}
+
+// exactNoCandidate enumerates every ring of m boxes and accumulates the
+// probability of rings without a prefix-viable chain of length l. It is
+// the ground truth the recurrences must match.
+func exactNoCandidate(p Dist, m, l int, tau float64) float64 {
+	b := make([]int, m)
+	var rec func(i int, prob float64) float64
+	rec = func(i int, prob float64) float64 {
+		if i == m {
+			if !hasPrefixViableChain(b, m, l, tau) {
+				return prob
+			}
+			return 0
+		}
+		var s float64
+		for v, pv := range p {
+			if pv == 0 {
+				continue
+			}
+			b[i] = v
+			s += rec(i+1, prob*pv)
+		}
+		return s
+	}
+	return rec(0, 1)
+}
+
+// TestRecurrenceExactness: the paper's M/N word recurrences are exact —
+// they match brute-force enumeration to machine precision.
+func TestRecurrenceExactness(t *testing.T) {
+	cases := []struct {
+		p   Dist
+		m   int
+		tau float64
+	}{
+		{Uniform(3), 4, 3},
+		{Uniform(3), 5, 4},
+		{Uniform(2), 6, 4},
+		{Binomial(4, 0.5), 5, 6},
+		{Binomial(3, 0.5), 6, 5},
+		{Uniform(4), 4, 7},
+		{Binomial(5, 0.3), 5, 4},
+		{Uniform(1), 7, 3},
+	}
+	for _, tc := range cases {
+		mod := Model{P: tc.p, M: tc.m, Tau: tc.tau}
+		for l := 1; l <= tc.m; l++ {
+			got := mod.NoCandidateProb(l)
+			want := exactNoCandidate(tc.p, tc.m, l, tc.tau)
+			if !almostEq(got, want, 1e-9) {
+				t.Errorf("m=%d τ=%v l=%d: recurrence=%v exact=%v", tc.m, tc.tau, l, got, want)
+			}
+		}
+	}
+}
+
+// TestRecurrenceVsMonteCarlo validates the model at Figure-2 scale,
+// where enumeration is infeasible.
+func TestRecurrenceVsMonteCarlo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("monte carlo validation skipped in -short")
+	}
+	mod := NewHammingModel(64, 8, 24)
+	for _, l := range []int{1, 2, 3, 5} {
+		got := mod.CandidateProb(l)
+		sim := mod.SimulateCandidateProb(l, 200000, 11)
+		if !almostEq(got, sim, 0.01) {
+			t.Errorf("l=%d: closed form %v vs simulated %v", l, got, sim)
+		}
+	}
+}
+
+// TestCandidateProbMonotone: Pr(CAND_l) is non-increasing in l and hits
+// Pr(RES) at l = m (§3.1: "when l = m, Pr(RES) = Pr(CAND_l)").
+func TestCandidateProbMonotone(t *testing.T) {
+	mod := NewHammingModel(64, 8, 20)
+	prev := math.Inf(1)
+	for l := 1; l <= mod.M; l++ {
+		cur := mod.CandidateProb(l)
+		if cur > prev+1e-12 {
+			t.Errorf("Pr(CAND) increased at l=%d: %v -> %v", l, prev, cur)
+		}
+		prev = cur
+	}
+	if res := mod.ResultProb(); !almostEq(prev, res, 1e-9) {
+		t.Errorf("Pr(CAND_m)=%v != Pr(RES)=%v", prev, res)
+	}
+}
+
+// TestResultProbCrossCheck: for binomial boxes, Pr(RES) equals the
+// Binomial(d, 1/2) CDF at τ.
+func TestResultProbCrossCheck(t *testing.T) {
+	mod := NewHammingModel(128, 8, 48)
+	want := Binomial(128, 0.5).CDF(48)
+	if got := mod.ResultProb(); !almostEq(got, want, 1e-12) {
+		t.Errorf("ResultProb = %v, want %v", got, want)
+	}
+}
+
+// TestWordProbsSubProbability: word probabilities and the no-candidate
+// probability stay within [0, 1].
+func TestWordProbsSubProbability(t *testing.T) {
+	mod := NewHammingModel(64, 8, 16)
+	for i := 1; i <= 6; i++ {
+		w := mod.WordProb(i)
+		if w < 0 || w > 1 {
+			t.Errorf("WordProb(%d) = %v out of [0,1]", i, w)
+		}
+	}
+	for l := 1; l <= 8; l++ {
+		n := mod.NoCandidateProb(l)
+		if n < -1e-12 || n > 1+1e-12 {
+			t.Errorf("NoCandidateProb(%d) = %v out of [0,1]", l, n)
+		}
+	}
+}
+
+// TestFigure2Shape: the Figure 2 claim — the false-positive ratio keeps
+// decreasing with the growth of chain length for every parameter
+// setting the paper plots.
+func TestFigure2Shape(t *testing.T) {
+	settings := []struct {
+		m   int
+		tau float64
+	}{
+		{16, 96}, {16, 64}, {8, 48}, {8, 32},
+	}
+	for _, s := range settings {
+		pts := Figure2Series(256, s.m, s.tau, 7)
+		if len(pts) != 7 {
+			t.Fatalf("m=%d τ=%v: %d points", s.m, s.tau, len(pts))
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Ratio > pts[i-1].Ratio+1e-9 {
+				t.Errorf("m=%d τ=%v: ratio increased at l=%d (%v -> %v)",
+					s.m, s.tau, pts[i].ChainLength, pts[i-1].Ratio, pts[i].Ratio)
+			}
+		}
+		// The l = 1 (pigeonhole) ratio must dominate the l = 7 ratio —
+		// the whole point of the principle. The margin grows as the
+		// per-box quota τ/m shrinks; the loosest setting (τ=96, m=16)
+		// still improves by > 2×, the tightest by orders of magnitude.
+		if pts[0].Ratio < 2*pts[6].Ratio {
+			t.Errorf("m=%d τ=%v: l=1 ratio %v not > 2× l=7 ratio %v",
+				s.m, s.tau, pts[0].Ratio, pts[6].Ratio)
+		}
+	}
+}
+
+func TestModelPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHammingModel(100, 7, 10) },
+		func() { Binomial(-1, 0.5) },
+		func() { NewHammingModel(64, 8, 10).NoCandidateProb(0) },
+		func() { NewHammingModel(64, 8, 10).NoCandidateProb(9) },
+		func() { NewHammingModel(64, 8, 10).WordProb(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFalsePositiveRatioAtM(t *testing.T) {
+	mod := NewHammingModel(64, 8, 24)
+	if got := mod.FalsePositiveRatio(8); !almostEq(got, 0, 1e-6) {
+		t.Errorf("FP ratio at l=m = %v, want 0", got)
+	}
+	if r := mod.CandidateToResultRatio(8); !almostEq(r, 1, 1e-6) {
+		t.Errorf("cand/res ratio at l=m = %v, want 1", r)
+	}
+}

@@ -1,0 +1,21 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+)
+
+// The §3.1 model quantifies how the expected false-positive load
+// shrinks as the chain length grows.
+func ExampleModel_CandidateProb() {
+	mod := analysis.NewUniformBoxModel(256, 8, 32)
+	p1 := mod.CandidateProb(1)
+	p4 := mod.CandidateProb(4)
+	fmt.Println(p1 > 50*p4)
+	// The l = m filter admits exactly the results.
+	fmt.Printf("%.6f\n", mod.CandidateProb(8)-mod.ResultProb())
+	// Output:
+	// true
+	// 0.000000
+}

@@ -1,0 +1,84 @@
+package analysis
+
+// This file implements the integral forms of Appendix B of the paper:
+// the pigeonhole and pigeonring principles extended from m discrete
+// boxes to a continuum of boxes described by a Riemann-integrable
+// function. The witnesses are located numerically on a uniform grid
+// using the geometric interpretation of Appendix A: the prefix
+// integral g(x) is touched from above by the line of slope
+// (∫b)/period with the greatest intercept, and the touching point
+// starts a "chain" (an interval) whose every prefix integral is within
+// quota.
+
+// IntegralPigeonholeWitness returns a point x in [u, u+m] (resolved on
+// a grid of steps+1 points) approximately minimizing b, together with
+// b(x). Theorem 8 of the paper guarantees that if ∫_u^{u+m} b ≤ n then
+// some x has b(x) ≤ n/m; the grid minimum converges to such a point as
+// steps grows.
+func IntegralPigeonholeWitness(b func(float64) float64, u, m float64, steps int) (x, bx float64) {
+	if steps < 1 {
+		panic("analysis: need at least one step")
+	}
+	h := m / float64(steps)
+	x, bx = u, b(u)
+	for i := 1; i <= steps; i++ {
+		xi := u + float64(i)*h
+		if v := b(xi); v < bx {
+			x, bx = xi, v
+		}
+	}
+	return x, bx
+}
+
+// IntegralRingWitness returns a starting point x1 in [u, u+m] for a
+// function b of period m such that, on the evaluation grid, every
+// prefix integral from x1 satisfies ∫_{x1}^{x2} b ≤ (x2−x1)·I/m where
+// I = ∫_u^{u+m} b — the conclusion of Theorem 9 with n = I. The
+// witness is the grid point with the greatest intercept g(x) − x·I/m,
+// exactly as in the discrete geometric construction.
+//
+// The integrals are trapezoidal on a grid of steps+1 points; the
+// returned slack is the largest violation of the prefix condition
+// observed on the grid (0 up to quadrature error for any
+// Riemann-integrable b).
+func IntegralRingWitness(b func(float64) float64, u, m float64, steps int) (x1 float64, slack float64) {
+	if steps < 1 {
+		panic("analysis: need at least one step")
+	}
+	h := m / float64(steps)
+	// Prefix integrals over one period, trapezoidal.
+	g := make([]float64, steps+1)
+	prev := b(u)
+	for i := 1; i <= steps; i++ {
+		cur := b(u + float64(i)*h)
+		g[i] = g[i-1] + h*(prev+cur)/2
+		prev = cur
+	}
+	total := g[steps]
+	slope := total / m
+	// Grid point with the greatest intercept.
+	best, bestIntercept := 0, g[0]
+	for i := 1; i <= steps; i++ {
+		if inter := g[i] - float64(i)*h*slope; inter > bestIntercept {
+			best, bestIntercept = i, inter
+		}
+	}
+	x1 = u + float64(best)*h
+	// Verify the prefix condition over a full period starting at x1,
+	// wrapping with periodicity: g(x+m) = g(x) + total.
+	for k := 1; k <= steps; k++ {
+		idx := best + k
+		gi := 0.0
+		if idx <= steps {
+			gi = g[idx]
+		} else {
+			gi = g[idx-steps] + total
+		}
+		prefix := gi - g[best]
+		quota := float64(k) * h * slope
+		if v := prefix - quota; v > slack {
+			slack = v
+		}
+	}
+	return x1, slack
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// VariableModel generalizes Model to footnote 6 of §3.1: every box may
+// have its own distribution and its own threshold. Pr(CAND_l) is
+// estimated by exact enumeration for small rings and by Monte Carlo
+// otherwise; the closed-form word recurrences of the iid case do not
+// apply because word probabilities become position dependent.
+type VariableModel struct {
+	// Boxes holds one distribution per ring position.
+	Boxes []Dist
+	// T holds the per-box thresholds (the quota of a chain prefix is
+	// the sum of its boxes' thresholds, Theorem 6).
+	T []float64
+}
+
+// NewVariableModel validates and builds the model.
+func NewVariableModel(boxes []Dist, t []float64) (VariableModel, error) {
+	if len(boxes) == 0 || len(boxes) != len(t) {
+		return VariableModel{}, fmt.Errorf("analysis: need equal, non-zero box and threshold counts (%d, %d)", len(boxes), len(t))
+	}
+	for i, b := range boxes {
+		if len(b) == 0 {
+			return VariableModel{}, fmt.Errorf("analysis: box %d has an empty distribution", i)
+		}
+	}
+	return VariableModel{Boxes: boxes, T: t}, nil
+}
+
+// M returns the number of boxes.
+func (vm VariableModel) M() int { return len(vm.Boxes) }
+
+// hasChain reports whether the layout admits a prefix-viable chain of
+// length l under the variable thresholds.
+func (vm VariableModel) hasChain(b []int, l int) bool {
+	m := vm.M()
+	for i := 0; i < m; i++ {
+		ok := true
+		sum := 0.0
+		quota := 0.0
+		for lp := 0; lp < l; lp++ {
+			j := (i + lp) % m
+			sum += float64(b[j])
+			quota += vm.T[j]
+			if sum > quota {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// ExactCandidateProb enumerates every ring layout and returns the
+// exact Pr(CAND_l). The cost is Π |Boxes_i|; callers should keep the
+// product small (it is intended for validation and tiny models).
+func (vm VariableModel) ExactCandidateProb(l int) float64 {
+	m := vm.M()
+	if l < 1 || l > m {
+		panic(fmt.Sprintf("analysis: chain length %d out of [1..%d]", l, m))
+	}
+	layout := make([]int, m)
+	var rec func(i int, p float64) float64
+	rec = func(i int, p float64) float64 {
+		if i == m {
+			if vm.hasChain(layout, l) {
+				return p
+			}
+			return 0
+		}
+		var s float64
+		for v, pv := range vm.Boxes[i] {
+			if pv == 0 {
+				continue
+			}
+			layout[i] = v
+			s += rec(i+1, p*pv)
+		}
+		return s
+	}
+	return rec(0, 1)
+}
+
+// SimulateCandidateProb estimates Pr(CAND_l) by Monte Carlo with the
+// given number of trials.
+func (vm VariableModel) SimulateCandidateProb(l, trials int, seed int64) float64 {
+	m := vm.M()
+	if l < 1 || l > m {
+		panic(fmt.Sprintf("analysis: chain length %d out of [1..%d]", l, m))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	layout := make([]int, m)
+	hits := 0
+	for t := 0; t < trials; t++ {
+		for i := range layout {
+			layout[i] = vm.Boxes[i].Sample(rng)
+		}
+		if vm.hasChain(layout, l) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(trials)
+}

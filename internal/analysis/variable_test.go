@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewVariableModelValidation(t *testing.T) {
+	if _, err := NewVariableModel(nil, nil); err == nil {
+		t.Error("empty model accepted")
+	}
+	if _, err := NewVariableModel([]Dist{Uniform(2)}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewVariableModel([]Dist{{}}, []float64{1}); err == nil {
+		t.Error("empty distribution accepted")
+	}
+	if _, err := NewVariableModel([]Dist{Uniform(2)}, []float64{1}); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+}
+
+// TestVariableModelMatchesIID: with identical boxes and uniform
+// thresholds τ/m, the variable model agrees with the closed-form iid
+// recurrences.
+func TestVariableModelMatchesIID(t *testing.T) {
+	iid := Model{P: Uniform(3), M: 5, Tau: 6}
+	boxes := make([]Dist, 5)
+	th := make([]float64, 5)
+	for i := range boxes {
+		boxes[i] = Uniform(3)
+		th[i] = 6.0 / 5.0
+	}
+	vm, err := NewVariableModel(boxes, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 1; l <= 5; l++ {
+		got := vm.ExactCandidateProb(l)
+		want := iid.CandidateProb(l)
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("l=%d: variable %v vs iid %v", l, got, want)
+		}
+	}
+}
+
+// TestVariableModelSimulationConverges: Monte Carlo approaches the
+// exact enumeration on a heterogeneous model.
+func TestVariableModelSimulationConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test skipped in -short")
+	}
+	boxes := []Dist{Uniform(2), Binomial(4, 0.5), Uniform(3), Binomial(2, 0.3)}
+	th := []float64{1, 2, 1.5, 0.5}
+	vm, err := NewVariableModel(boxes, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 1; l <= 4; l++ {
+		exact := vm.ExactCandidateProb(l)
+		sim := vm.SimulateCandidateProb(l, 150000, 9)
+		if diff := exact - sim; diff > 0.01 || diff < -0.01 {
+			t.Errorf("l=%d: exact %v vs simulated %v", l, exact, sim)
+		}
+	}
+}
+
+// TestVariableModelMonotoneInL: candidates shrink with chain length in
+// the heterogeneous setting too.
+func TestVariableModelMonotoneInL(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 20; trial++ {
+		m := 2 + rng.Intn(4)
+		boxes := make([]Dist, m)
+		th := make([]float64, m)
+		for i := range boxes {
+			boxes[i] = Uniform(1 + rng.Intn(4))
+			th[i] = float64(rng.Intn(4))
+		}
+		vm, err := NewVariableModel(boxes, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := 2.0
+		for l := 1; l <= m; l++ {
+			cur := vm.ExactCandidateProb(l)
+			if cur > prev+1e-12 {
+				t.Fatalf("Pr(CAND) grew at l=%d: %v -> %v", l, prev, cur)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestVariableModelPanics(t *testing.T) {
+	vm, _ := NewVariableModel([]Dist{Uniform(1), Uniform(1)}, []float64{1, 1})
+	for _, fn := range []func(){
+		func() { vm.ExactCandidateProb(0) },
+		func() { vm.ExactCandidateProb(3) },
+		func() { vm.SimulateCandidateProb(0, 10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

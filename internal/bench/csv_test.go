@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	fig := Figure{
+		ID: "t", XLabel: "l",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Name: "b", X: []float64{2}, Y: []float64{5}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := fig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "l,a,b\n1,10,\n2,20,5\n"
+	if buf.String() != want {
+		t.Errorf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestSaveCSVs(t *testing.T) {
+	dir := t.TempDir()
+	figs := []Figure{
+		{ID: "1", XLabel: "x", Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{2}}}},
+		{ID: "2b", XLabel: "x", Series: []Series{{Name: "s", X: []float64{3}, Y: []float64{4}}}},
+	}
+	names, err := SaveCSVs(figs, filepath.Join(dir, "out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("wrote %d files", len(names))
+	}
+	data, err := os.ReadFile(names[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "x,s\n") {
+		t.Errorf("unexpected csv content %q", data)
+	}
+}

@@ -1,0 +1,35 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+)
+
+// Fig2 reproduces Figure 2: the analytical #false-positives/#results
+// ratio for Hamming distance search on d = 256 uniform vectors, as a
+// function of chain length, for the paper's four (τ, m) settings.
+func Fig2() Figure {
+	settings := []struct {
+		tau float64
+		m   int
+	}{
+		{96, 16}, {64, 16}, {48, 8}, {32, 8},
+	}
+	fig := Figure{
+		ID:     "2",
+		Title:  "Filtering performance analysis (Hamming, d = 256)",
+		XLabel: "chain len",
+		YLabel: "#FP / #results",
+	}
+	for _, s := range settings {
+		pts := analysis.Figure2Series(256, s.m, s.tau, 7)
+		ser := Series{Name: fmt.Sprintf("tau=%g,m=%d", s.tau, s.m)}
+		for _, p := range pts {
+			ser.X = append(ser.X, float64(p.ChainLength))
+			ser.Y = append(ser.Y, p.Ratio)
+		}
+		fig.Series = append(fig.Series, ser)
+	}
+	return fig
+}

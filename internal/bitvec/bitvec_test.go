@@ -1,0 +1,299 @@
+package bitvec
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndBits(t *testing.T) {
+	v := New(130)
+	if v.Dim() != 130 || v.Popcount() != 0 {
+		t.Fatalf("New(130): dim=%d pop=%d", v.Dim(), v.Popcount())
+	}
+	v.Set(0)
+	v.Set(64)
+	v.Set(129)
+	if !v.Bit(0) || !v.Bit(64) || !v.Bit(129) || v.Bit(1) {
+		t.Error("Set/Bit mismatch")
+	}
+	if v.Popcount() != 3 {
+		t.Errorf("popcount = %d, want 3", v.Popcount())
+	}
+	v.Clear(64)
+	if v.Bit(64) || v.Popcount() != 2 {
+		t.Error("Clear failed")
+	}
+	v.Flip(64)
+	v.Flip(0)
+	if !v.Bit(64) || v.Bit(0) {
+		t.Error("Flip failed")
+	}
+}
+
+func TestFromStringAndString(t *testing.T) {
+	v, err := FromString("0000 0011 1111")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Dim() != 12 || v.Popcount() != 6 {
+		t.Fatalf("dim=%d pop=%d", v.Dim(), v.Popcount())
+	}
+	if v.String() != "000000111111" {
+		t.Errorf("String() = %q", v.String())
+	}
+	if _, err := FromString("01x"); err == nil {
+		t.Error("expected error on invalid character")
+	}
+}
+
+func TestPaperExample9Vectors(t *testing.T) {
+	// §6.1 Example 9: x and q over d = 12, m = 3 parts, H(x,q) = 4.
+	x, _ := FromString("0000 0011 1111")
+	q, _ := FromString("0000 1110 0111")
+	if got := Hamming(x, q); got != 4 {
+		t.Fatalf("H(x,q) = %d, want 4", got)
+	}
+	p := NewEqualPartitioning(12, 3)
+	want := []int{0, 3, 1}
+	for i, w := range want {
+		if got := p.PartDistance(x, q, i); got != w {
+			t.Errorf("part %d distance = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestHammingAbandon(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		x := Random(rng, 256)
+		y := Random(rng, 256)
+		d := Hamming(x, y)
+		tau := rng.Intn(260)
+		got := HammingAbandon(x, y, tau)
+		if d <= tau && got != d {
+			t.Fatalf("abandon returned %d, want %d (τ=%d)", got, d, tau)
+		}
+		if d > tau && got != -1 {
+			t.Fatalf("abandon returned %d, want -1 (d=%d τ=%d)", got, d, tau)
+		}
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	v := Random(rng, 100)
+	c := v.Clone()
+	if !v.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Flip(50)
+	if v.Equal(c) {
+		t.Fatal("mutating the clone changed the original")
+	}
+	if v.Equal(Random(rng, 99)) {
+		t.Fatal("different dimensions compared equal")
+	}
+}
+
+func TestRandomMasksTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, d := range []int{1, 63, 65, 100, 127, 128} {
+		v := Random(rng, d)
+		// All bits beyond d must be zero: popcount over words equals
+		// popcount over logical bits.
+		n := 0
+		for i := 0; i < d; i++ {
+			if v.Bit(i) {
+				n++
+			}
+		}
+		if n != v.Popcount() {
+			t.Errorf("d=%d: tail bits leaked", d)
+		}
+	}
+}
+
+// TestRangeDistancePartition: part distances sum to the full distance
+// for any partitioning (the disjointness property that makes the §6.1
+// instance tight).
+func TestRangeDistancePartition(t *testing.T) {
+	prop := func(seed int64, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 64 + rng.Intn(200)
+		minM := (d + 63) / 64 // keep parts within 64 bits
+		m := minM + int(mRaw)%16
+		p := NewEqualPartitioning(d, m)
+		x := Random(rng, d)
+		y := Random(rng, d)
+		sum := 0
+		for i := 0; i < m; i++ {
+			sum += p.PartDistance(x, y, i)
+		}
+		return sum == Hamming(x, y)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRangeDistanceBruteForce cross-checks the word-level kernel against
+// a bit-by-bit loop.
+func TestRangeDistanceBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 300; trial++ {
+		d := 1 + rng.Intn(200)
+		x := Random(rng, d)
+		y := Random(rng, d)
+		lo := rng.Intn(d)
+		hi := lo + rng.Intn(d-lo+1)
+		want := 0
+		for i := lo; i < hi; i++ {
+			if x.Bit(i) != y.Bit(i) {
+				want++
+			}
+		}
+		if got := RangeDistance(x, y, lo, hi); got != want {
+			t.Fatalf("RangeDistance(%d,%d) = %d, want %d", lo, hi, got, want)
+		}
+	}
+}
+
+func TestExtractRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		d := 1 + rng.Intn(200)
+		v := Random(rng, d)
+		lo := rng.Intn(d)
+		width := rng.Intn(min(64, d-lo) + 1)
+		got := v.ExtractRange(lo, lo+width)
+		var want uint64
+		for i := 0; i < width; i++ {
+			if v.Bit(lo + i) {
+				want |= 1 << uint(i)
+			}
+		}
+		if got != want {
+			t.Fatalf("ExtractRange(%d,%d) = %x, want %x", lo, lo+width, got, want)
+		}
+	}
+}
+
+func TestPartitioningShape(t *testing.T) {
+	p := NewEqualPartitioning(10, 3) // widths 4,3,3
+	if p.M() != 3 {
+		t.Fatalf("M = %d", p.M())
+	}
+	widths := []int{4, 3, 3}
+	for i, w := range widths {
+		if p.Width(i) != w {
+			t.Errorf("width(%d) = %d, want %d", i, p.Width(i), w)
+		}
+	}
+	sum := 0
+	for i := 0; i < p.M(); i++ {
+		sum += p.Width(i)
+	}
+	if sum != 10 {
+		t.Errorf("widths sum to %d", sum)
+	}
+}
+
+func TestPartitioningExtractRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	p := NewEqualPartitioning(256, 16)
+	x := Random(rng, 256)
+	y := Random(rng, 256)
+	for i := 0; i < 16; i++ {
+		xv := p.Extract(x, i)
+		yv := p.Extract(y, i)
+		if got := bits.OnesCount64(xv ^ yv); got != p.PartDistance(x, y, i) {
+			t.Errorf("part %d: xor distance %d != part distance %d", i, got, p.PartDistance(x, y, i))
+		}
+	}
+}
+
+func TestEnumerateBall(t *testing.T) {
+	seen := map[uint64]bool{}
+	EnumerateBall(0b1010, 4, 2, func(u uint64) {
+		if seen[u] {
+			t.Errorf("value %b visited twice", u)
+		}
+		seen[u] = true
+		if bits.OnesCount64(u^0b1010) > 2 {
+			t.Errorf("value %b outside ball", u)
+		}
+	})
+	if len(seen) != BallSize(4, 2) { // 1 + 4 + 6 = 11
+		t.Errorf("visited %d values, want %d", len(seen), BallSize(4, 2))
+	}
+	for u := uint64(0); u < 16; u++ {
+		if bits.OnesCount64(u^0b1010) <= 2 && !seen[u] {
+			t.Errorf("value %b in ball but not visited", u)
+		}
+	}
+}
+
+func TestEnumerateBallEdges(t *testing.T) {
+	// t = 0: only the center.
+	count := 0
+	EnumerateBall(7, 8, 0, func(u uint64) {
+		count++
+		if u != 7 {
+			t.Errorf("unexpected value %d", u)
+		}
+	})
+	if count != 1 {
+		t.Errorf("visited %d values, want 1", count)
+	}
+	// t ≥ w: the whole cube.
+	count = 0
+	EnumerateBall(0, 4, 9, func(u uint64) { count++ })
+	if count != 16 {
+		t.Errorf("visited %d values, want 16", count)
+	}
+}
+
+func TestBallSize(t *testing.T) {
+	cases := []struct{ w, t, want int }{
+		{16, 0, 1},
+		{16, 1, 17},
+		{16, 2, 1 + 16 + 120},
+		{4, 4, 16},
+		{4, 9, 16},
+	}
+	for _, c := range cases {
+		if got := BallSize(c.w, c.t); got != c.want {
+			t.Errorf("BallSize(%d,%d) = %d, want %d", c.w, c.t, got, c.want)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(-1) },
+		func() { Hamming(New(4), New(5)) },
+		func() { HammingAbandon(New(4), New(5), 1) },
+		func() { NewEqualPartitioning(3, 4) },
+		func() { NewEqualPartitioning(256, 2) }, // 128-bit parts
+		func() { New(64).ExtractRange(0, 65) },
+		func() { EnumerateBall(0, 65, 1, func(uint64) {}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,36 @@
+package bitvec
+
+import "testing"
+
+// FuzzRangeDistance cross-checks the word-level range kernel against a
+// bit loop on fuzzer-chosen vectors and ranges.
+func FuzzRangeDistance(f *testing.F) {
+	f.Add([]byte{0xff, 0x00, 0xaa}, []byte{0x0f, 0xf0, 0x55}, 3, 20)
+	f.Fuzz(func(t *testing.T, xr, yr []byte, lo, hi int) {
+		if len(xr) == 0 || len(xr) > 40 || len(yr) != len(xr) {
+			t.Skip()
+		}
+		d := len(xr) * 8
+		x, y := New(d), New(d)
+		for i := 0; i < d; i++ {
+			if xr[i/8]>>(i%8)&1 == 1 {
+				x.Set(i)
+			}
+			if yr[i/8]>>(i%8)&1 == 1 {
+				y.Set(i)
+			}
+		}
+		if lo < 0 || hi < lo || hi > d {
+			t.Skip()
+		}
+		want := 0
+		for i := lo; i < hi; i++ {
+			if x.Bit(i) != y.Bit(i) {
+				want++
+			}
+		}
+		if got := RangeDistance(x, y, lo, hi); got != want {
+			t.Fatalf("RangeDistance(%d,%d) = %d, want %d", lo, hi, got, want)
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// The introduction's running example: both layouts hold 8 items, yet
+// the pigeonhole filter (l = 1) passes them while the pigeonring
+// strong form at l = 2 prunes both.
+func ExampleFilter_HasPrefixViableChain() {
+	layouts := []core.Boxes{
+		{2, 1, 2, 2, 1},
+		{2, 0, 3, 1, 2},
+	}
+	pigeonhole := core.NewUniform(5, 5, 1, core.LE)
+	pigeonring := core.NewUniform(5, 5, 2, core.LE)
+	for _, b := range layouts {
+		fmt.Println(pigeonhole.HasPrefixViableChain(b), pigeonring.HasPrefixViableChain(b))
+	}
+	// Output:
+	// true false
+	// true false
+}
+
+// Variable threshold allocation (Theorem 6): the same budget, spread
+// unevenly, still guarantees a prefix-viable chain for every result.
+func ExampleNewVariable() {
+	f := core.NewVariable([]float64{1, 2, 0, 1, 1}, 2, core.LE)
+	fmt.Println(f.HasPrefixViableChain(core.Boxes{2, 1, 2, 2, 1}))
+	fmt.Println(f.HasPrefixViableChain(core.Boxes{1, 1, 0, 1, 1}))
+	// Output:
+	// false
+	// true
+}
+
+// Integer reduction (Theorem 7): for integer boxes the thresholds only
+// need to sum to n−m+1, buying a strictly stronger filter.
+func ExampleNewIntegerReduction() {
+	// Example 8 of the paper: τ = 5, m = 5, Σt = 1 = τ−m+1.
+	f := core.NewIntegerReduction([]float64{1, 0, 0, 0, 0}, 2, core.LE)
+	fmt.Println(f.HasPrefixViableChain(core.Boxes{1, 2, 2, 1, 1}))
+	// Output:
+	// false
+}
+
+// The geometric witness of Appendix A: some box starts a chain whose
+// every prefix stays within the running average.
+func ExampleStrongWitness() {
+	b := core.Boxes{2, 1, 2, 2, 1}
+	w := core.StrongWitness(b)
+	f := core.NewUniform(b.Sum(), len(b), len(b), core.LE)
+	fmt.Println(w, f.PrefixViableFrom(b, w))
+	// Output:
+	// 4 true
+}
+
+// ChainSum wraps around the ring: c_3^4 covers boxes 3, 4, 0, 1.
+func ExampleChainSum() {
+	b := core.Boxes{2, 1, 2, 2, 1}
+	fmt.Println(core.ChainSum(b, 3, 4))
+	// Output:
+	// 6
+}

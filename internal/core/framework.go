@@ -1,0 +1,154 @@
+package core
+
+import "fmt"
+
+// Instance is the universal filtering framework of Section 5 of the
+// paper: a filtering instance ⟨F, B, D⟩ for a τ-selection problem over
+// objects of type O. F, the featuring function, is folded into Box —
+// each box function selects sub-bags of features from the two objects
+// and returns a number (a distance, a similarity, or a match flag).
+//
+// The filtering instance works on the promise that for every result of
+// the query, ‖B(x, q)‖₁ is bounded by D(τ) on the instance's side of the
+// comparison. The pigeonring principle then prunes every object without
+// a prefix-viable chain.
+type Instance[O any] struct {
+	// M is the number of boxes.
+	M int
+	// Box returns the value of box i for the pair (x, q).
+	Box func(x, q O, i int) float64
+	// D is the bounding function mapping the selection threshold τ to
+	// the bound on ‖B(x, q)‖₁. The identity is the most common choice.
+	D func(tau float64) float64
+	// Dir is the comparison direction of the underlying problem.
+	Dir Direction
+}
+
+// BoxValues returns a lazy ring of box values for the pair (x, q).
+func (ins *Instance[O]) BoxValues(x, q O) BoxValues {
+	return BoxFunc{M: ins.M, F: func(i int) float64 { return ins.Box(x, q, i) }}
+}
+
+// BoxSum returns ‖B(x, q)‖₁.
+func (ins *Instance[O]) BoxSum(x, q O) float64 {
+	var s float64
+	for i := 0; i < ins.M; i++ {
+		s += ins.Box(x, q, i)
+	}
+	return s
+}
+
+// UniformFilter returns the strong-form uniform filter for threshold τ:
+// quotas l'·D(τ)/m on the instance's side of the comparison.
+func (ins *Instance[O]) UniformFilter(tau float64, l int) *Filter {
+	return NewUniform(ins.D(tau), ins.M, l, ins.Dir)
+}
+
+// Violation describes why a completeness or tightness check failed.
+// It carries the offending pair indexes into the xs × qs product that
+// the checker was run on.
+type Violation struct {
+	Kind   string // "condition1" or "condition2"
+	X1, Q1 int
+	X2, Q2 int // only set for condition2 violations
+	Detail string
+}
+
+// Error formats the violation.
+func (v *Violation) Error() string { return "core: " + v.Kind + ": " + v.Detail }
+
+// CheckComplete empirically verifies the two conditions of Lemma 6 over
+// the finite universe xs × qs: completeness means ‖B(x,q)‖₁ ≤ D(τ) is a
+// necessary condition of f(x,q) ≤ τ for every τ (with the obvious ≥ dual
+// when the instance direction is GE). It returns nil if no violation is
+// found, otherwise the first violation.
+//
+// Condition 1: for all pairs, ‖B(x,q)‖₁ is within D(f(x,q)).
+// Condition 2 (LE): no two pairs with f(x1,q1) < f(x2,q2) and
+// ‖B(x1,q1)‖₁ > D(f(x2,q2)).
+func CheckComplete[O any](ins *Instance[O], f func(x, q O) float64, xs, qs []O) *Violation {
+	type pair struct {
+		fi, bi float64
+		x, q   int
+	}
+	pairs := make([]pair, 0, len(xs)*len(qs))
+	for xi, x := range xs {
+		for qi, q := range qs {
+			pairs = append(pairs, pair{f(x, q), ins.BoxSum(x, q), xi, qi})
+		}
+	}
+	within := func(sum, bound float64) bool {
+		if ins.Dir == LE {
+			return sum <= bound
+		}
+		return sum >= bound
+	}
+	for _, p := range pairs {
+		if !within(p.bi, ins.D(p.fi)) {
+			return &Violation{
+				Kind: "condition1", X1: p.x, Q1: p.q,
+				Detail: fmt.Sprintf("‖B‖=%v not within D(f)=%v (f=%v)", p.bi, ins.D(p.fi), p.fi),
+			}
+		}
+	}
+	for _, p1 := range pairs {
+		for _, p2 := range pairs {
+			bad := false
+			if ins.Dir == LE {
+				bad = p1.fi < p2.fi && p1.bi > ins.D(p2.fi)
+			} else {
+				bad = p1.fi > p2.fi && p1.bi < ins.D(p2.fi)
+			}
+			if bad {
+				return &Violation{
+					Kind: "condition2",
+					X1:   p1.x, Q1: p1.q, X2: p2.x, Q2: p2.q,
+					Detail: fmt.Sprintf("f1=%v f2=%v ‖B1‖=%v D(f2)=%v", p1.fi, p2.fi, p1.bi, ins.D(p2.fi)),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckTight empirically verifies the two conditions of Lemma 7 over the
+// finite universe xs × qs: tightness means ‖B(x,q)‖₁ ≤ D(τ) is necessary
+// and sufficient for f(x,q) ≤ τ. Tightness implies completeness, and it
+// guarantees that with chain length l = m the pigeonring candidates are
+// exactly the results.
+func CheckTight[O any](ins *Instance[O], f func(x, q O) float64, xs, qs []O) *Violation {
+	if v := CheckComplete(ins, f, xs, qs); v != nil {
+		return v
+	}
+	type pair struct {
+		fi, bi float64
+		x, q   int
+	}
+	pairs := make([]pair, 0, len(xs)*len(qs))
+	for xi, x := range xs {
+		for qi, q := range qs {
+			pairs = append(pairs, pair{f(x, q), ins.BoxSum(x, q), xi, qi})
+		}
+	}
+	for _, p1 := range pairs {
+		for _, p2 := range pairs {
+			bad := false
+			if ins.Dir == LE {
+				// ∄ f1 < f2 with D(f1) ≥ ‖B2‖ (otherwise the pair-2
+				// object would pass the τ=f1 filter without being a
+				// result).
+				bad = p1.fi < p2.fi && ins.D(p1.fi) >= p2.bi
+			} else {
+				bad = p1.fi > p2.fi && ins.D(p1.fi) <= p2.bi
+			}
+			if bad {
+				return &Violation{
+					Kind: "condition2",
+					X1:   p1.x, Q1: p1.q, X2: p2.x, Q2: p2.q,
+					Detail: fmt.Sprintf("f1=%v f2=%v D(f1)=%v ‖B2‖=%v", p1.fi, p2.fi, ins.D(p1.fi), p2.bi),
+				}
+			}
+		}
+	}
+	return nil
+}

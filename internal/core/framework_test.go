@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// vec4 is a toy object universe for framework tests: 4-dimensional
+// integer vectors compared by L1 distance, partitioned into 2 boxes of
+// 2 dimensions each. Boxes are disjoint, so ‖B(x,q)‖₁ = f(x,q) exactly
+// and the instance is tight (the Hamming-search situation of §6.1).
+type vec4 [4]int
+
+func l1(x, q vec4) float64 {
+	s := 0
+	for i := range x {
+		d := x[i] - q[i]
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return float64(s)
+}
+
+func tightInstance() *Instance[vec4] {
+	return &Instance[vec4]{
+		M: 2,
+		Box: func(x, q vec4, i int) float64 {
+			s := 0
+			for j := 2 * i; j < 2*i+2; j++ {
+				d := x[j] - q[j]
+				if d < 0 {
+					d = -d
+				}
+				s += d
+			}
+			return float64(s)
+		},
+		D:   func(tau float64) float64 { return tau },
+		Dir: LE,
+	}
+}
+
+// looseInstance halves each box, so ‖B‖₁ = f/2 ≤ D(f) = f: complete
+// (by Lemma 6 with monotone D) but not tight (violates Lemma 7's second
+// condition: D(f1) can dominate a smaller ‖B2‖ with f2 > f1).
+func looseInstance() *Instance[vec4] {
+	ins := tightInstance()
+	inner := ins.Box
+	ins.Box = func(x, q vec4, i int) float64 { return inner(x, q, i) / 2 }
+	return ins
+}
+
+// brokenInstance overestimates boxes, violating condition 1.
+func brokenInstance() *Instance[vec4] {
+	ins := tightInstance()
+	inner := ins.Box
+	ins.Box = func(x, q vec4, i int) float64 { return inner(x, q, i) + 1 }
+	return ins
+}
+
+func randomVecs(n int, seed int64) []vec4 {
+	rng := rand.New(rand.NewSource(seed))
+	vs := make([]vec4, n)
+	for i := range vs {
+		for j := range vs[i] {
+			vs[i][j] = rng.Intn(4)
+		}
+	}
+	return vs
+}
+
+func TestCheckCompleteTight(t *testing.T) {
+	xs := randomVecs(12, 1)
+	qs := randomVecs(6, 2)
+
+	if v := CheckComplete(tightInstance(), l1, xs, qs); v != nil {
+		t.Errorf("tight instance reported incomplete: %v", v)
+	}
+	if v := CheckTight(tightInstance(), l1, xs, qs); v != nil {
+		t.Errorf("tight instance reported not tight: %v", v)
+	}
+	if v := CheckComplete(looseInstance(), l1, xs, qs); v != nil {
+		t.Errorf("loose instance reported incomplete: %v", v)
+	}
+	if v := CheckTight(looseInstance(), l1, xs, qs); v == nil {
+		t.Error("loose instance should not be tight")
+	}
+	if v := CheckComplete(brokenInstance(), l1, xs, qs); v == nil {
+		t.Error("broken instance should be incomplete")
+	} else if v.Kind != "condition1" {
+		t.Errorf("broken instance violation kind = %q, want condition1", v.Kind)
+	}
+}
+
+// TestTrivialCompleteInstance reproduces the §5 remark: m = 1, b0 = −1,
+// D(τ) = 0 is complete for any problem but trivially admits everything.
+func TestTrivialCompleteInstance(t *testing.T) {
+	ins := &Instance[vec4]{
+		M:   1,
+		Box: func(x, q vec4, i int) float64 { return -1 },
+		D:   func(tau float64) float64 { return 0 },
+		Dir: LE,
+	}
+	xs := randomVecs(8, 3)
+	qs := randomVecs(4, 4)
+	if v := CheckComplete(ins, l1, xs, qs); v != nil {
+		t.Errorf("trivial instance should be complete: %v", v)
+	}
+	// And it filters nothing.
+	f := ins.UniformFilter(5, 1)
+	for _, x := range xs {
+		for _, q := range qs {
+			if !f.HasPrefixViableChain(ins.BoxValues(x, q)) {
+				t.Fatal("trivial instance filtered an object")
+			}
+		}
+	}
+}
+
+// TestFrameworkFilterExactness: with a tight instance and l = m, the
+// candidates are exactly the results (Definition 2 discussion).
+func TestFrameworkFilterExactness(t *testing.T) {
+	ins := tightInstance()
+	xs := randomVecs(60, 5)
+	qs := randomVecs(10, 6)
+	for _, tau := range []float64{0, 1, 2, 3, 5} {
+		f := ins.UniformFilter(tau, ins.M)
+		for _, q := range qs {
+			for _, x := range xs {
+				cand := f.HasPrefixViableChain(ins.BoxValues(x, q))
+				res := l1(x, q) <= tau
+				if cand != res {
+					t.Fatalf("τ=%v x=%v q=%v: candidate=%v result=%v", tau, x, q, cand, res)
+				}
+			}
+		}
+	}
+}
+
+// TestFrameworkNoFalseNegatives: for any complete instance and any chain
+// length, every result is a candidate.
+func TestFrameworkNoFalseNegatives(t *testing.T) {
+	xs := randomVecs(80, 7)
+	qs := randomVecs(10, 8)
+	for _, ins := range []*Instance[vec4]{tightInstance(), looseInstance()} {
+		for _, tau := range []float64{1, 3, 6} {
+			for l := 1; l <= ins.M; l++ {
+				f := ins.UniformFilter(tau, l)
+				for _, q := range qs {
+					for _, x := range xs {
+						if l1(x, q) <= tau && !f.HasPrefixViableChain(ins.BoxValues(x, q)) {
+							t.Fatalf("missed result: τ=%v l=%d x=%v q=%v", tau, l, x, q)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestViolationError(t *testing.T) {
+	v := &Violation{Kind: "condition1", Detail: "boom"}
+	if v.Error() != "core: condition1: boom" {
+		t.Errorf("Error() = %q", v.Error())
+	}
+}
+
+func TestBoxSum(t *testing.T) {
+	ins := tightInstance()
+	x := vec4{3, 0, 1, 2}
+	q := vec4{0, 0, 0, 0}
+	if got := ins.BoxSum(x, q); got != 6 {
+		t.Errorf("BoxSum = %v, want 6", got)
+	}
+	bv := ins.BoxValues(x, q)
+	if bv.Len() != 2 || bv.Box(0) != 3 || bv.Box(1) != 3 {
+		t.Errorf("BoxValues = (%v, %v)", bv.Box(0), bv.Box(1))
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestLemma5ThresholdTightness: Lemma 5 of the paper — when boxes are
+// independent real variables, no threshold vector with ‖T‖₁ < n can be
+// complete: there is a box layout with ‖B‖₁ ≤ n (namely ‖B‖₁ = n) for
+// which no chain of length m meets its quota, because every complete
+// chain sums to n > ‖T‖₁. The test constructs that witness for random
+// reduced threshold vectors.
+func TestLemma5ThresholdTightness(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 300; trial++ {
+		m := 1 + rng.Intn(10)
+		tvals := make([]float64, m)
+		sum := 0.0
+		for i := range tvals {
+			tvals[i] = float64(rng.Intn(8))
+			sum += tvals[i]
+		}
+		delta := 0.5 + rng.Float64()*3 // reduce ‖T‖ strictly below n
+		n := sum + delta
+		// The adversarial layout: spread n evenly, so every chain of
+		// every length carries its proportional share.
+		b := make(Boxes, m)
+		for i := range b {
+			b[i] = n / float64(m)
+		}
+		f := NewVariable(tvals, m, LE)
+		if f.HasPrefixViableChain(b) {
+			// A prefix-viable chain of length m would require the
+			// complete chain sum n ≤ ‖T‖ < n.
+			t.Fatalf("m=%d T=%v n=%v: reduced thresholds accepted the witness", m, tvals, n)
+		}
+		// Sanity: with ‖T‖ = n a layout equal to the thresholds passes
+		// (Theorem 6); using identical values keeps the comparison
+		// exact in floating point.
+		full := make([]float64, m)
+		for i := range full {
+			full[i] = tvals[i] + delta/float64(m)
+		}
+		if !NewVariable(full, m, LE).HasPrefixViableChain(Boxes(full)) {
+			t.Fatalf("m=%d: full-budget thresholds rejected a result", m)
+		}
+	}
+}
+
+// TestIntegerReductionTightness: the integer analogue — with integer
+// boxes, ‖T‖ = n−m+1 is tight: reducing the budget by one admits a
+// counterexample layout (b_i = t_i + 1 with one unit removed), while
+// the mandated budget accepts every valid layout.
+func TestIntegerReductionTightness(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 300; trial++ {
+		m := 1 + rng.Intn(10)
+		tvals := make([]float64, m)
+		total := 0
+		for i := range tvals {
+			v := rng.Intn(6)
+			tvals[i] = float64(v)
+			total += v
+		}
+		n := total + m - 1 // so ‖T‖ = n−m+1 exactly
+		// Witness layout summing to n with b_i = t_i + 1 everywhere
+		// except one box holding t_i: by construction each box exceeds
+		// its quota except one, and longer prefixes stay exactly at
+		// quota, so the mandated budget must accept...
+		b := make(Boxes, m)
+		for i := range b {
+			b[i] = tvals[i] + 1
+		}
+		b[rng.Intn(m)]--
+		f := NewIntegerReduction(tvals, m, LE)
+		if !f.HasPrefixViableChain(b) {
+			t.Fatalf("m=%d T=%v: mandated budget rejected a layout with ‖B‖=%d=n", m, tvals, n)
+		}
+		// ...while a budget reduced by one more unit rejects the
+		// all-(t_i+1) layout whose sum is n+... = total+m ≤ n only if
+		// budget were still valid; with reduced T' (one unit less) the
+		// layout summing to total+m−1 = n is a missed result.
+		if total == 0 {
+			continue // cannot reduce below zero in every position
+		}
+		reduced := append([]float64(nil), tvals...)
+		for i := range reduced {
+			if reduced[i] > 0 {
+				reduced[i]--
+				break
+			}
+		}
+		fr := NewIntegerReduction(reduced, m, LE)
+		// The adversarial layout b_i = t'_i + 1 sums to exactly n (a
+		// result) yet every box exceeds its quota, so every 1-prefix —
+		// and hence every chain — fails: the reduced budget misses a
+		// result, proving it incomplete.
+		bAdv := make(Boxes, m)
+		s := 0.0
+		for i := range bAdv {
+			bAdv[i] = reduced[i] + 1
+			s += bAdv[i]
+		}
+		if s != float64(n) {
+			t.Fatalf("construction error: ‖B‖=%v, want n=%d", s, n)
+		}
+		if fr.HasPrefixViableChain(bAdv) {
+			t.Fatalf("m=%d: reduced integer budget accepted the adversarial layout", m)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+// StrongWitness returns a starting box i whose chain is prefix-viable at
+// every length l in [1..m] under the uniform quota l·‖B‖₁/m. Such a start
+// always exists — this is the geometric interpretation of the strong form
+// in Appendix A of the paper: plot the prefix sums g(x) of the boxes and
+// take the line of slope ‖B‖₁/m with the greatest y-intercept; the box
+// where it touches the plot starts a chain whose every prefix average is
+// at most the global average.
+//
+// Consequently, if ‖B‖₁ ≤ n, the returned start is prefix-viable for the
+// quota l·n/m at every length, constructively proving Theorem 3.
+func StrongWitness(b Boxes) int {
+	m := len(b)
+	if m == 0 {
+		return 0
+	}
+	slope := b.Sum() / float64(m)
+	best, bestIntercept := 0, 0.0
+	g := 0.0 // g(i) = b[0] + ... + b[i-1]
+	for i := 0; i < m; i++ {
+		intercept := g - float64(i)*slope
+		if i == 0 || intercept > bestIntercept {
+			best, bestIntercept = i, intercept
+		}
+		g += b[i]
+	}
+	return best
+}
+
+// WeakWitness returns, for a single chain length l, a starting box whose
+// chain of length l has sum at most l·‖B‖₁/m (the basic form, Theorem 2),
+// found by a sliding-window scan. It exists for every l in [1..m].
+func WeakWitness(b Boxes, l int) int {
+	m := len(b)
+	validateML(m, l)
+	sum := ChainSum(b, 0, l)
+	best, bestSum := 0, sum
+	for i := 1; i < m; i++ {
+		// Slide the window: drop b[i-1], add b[(i+l-1) mod m].
+		sum -= b[i-1]
+		sum += b[(i+l-1)%m]
+		if sum < bestSum {
+			best, bestSum = i, sum
+		}
+	}
+	return best
+}

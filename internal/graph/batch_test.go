@@ -1,0 +1,32 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSearchBatchMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	graphs := moleculeCorpus(rng, 80, 5, 9, 5, 2)
+	db, err := NewDB(graphs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]*Graph, 8)
+	for i := range queries {
+		queries[i] = graphs[rng.Intn(len(graphs))]
+	}
+	out := db.SearchBatch(queries, RingOptions(2), 4)
+	for i, q := range queries {
+		want, _, err := db.Search(q, RingOptions(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[i].Err != nil {
+			t.Fatal(out[i].Err)
+		}
+		if !equalInts(out[i].IDs, want) {
+			t.Fatalf("query %d: batch diverges from serial", i)
+		}
+	}
+}

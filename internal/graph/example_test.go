@@ -1,0 +1,49 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Graph edit distance between two tiny molecules: one vertex relabel
+// plus one edge relabel.
+func ExampleGEDWithin() {
+	a := graph.New(3)
+	a.SetVertexLabel(0, 'C')
+	a.SetVertexLabel(1, 'C')
+	a.SetVertexLabel(2, 'O')
+	a.AddEdge(0, 1, 0)
+	a.AddEdge(1, 2, 0)
+
+	b := graph.New(3)
+	b.SetVertexLabel(0, 'C')
+	b.SetVertexLabel(1, 'C')
+	b.SetVertexLabel(2, 'N')
+	b.AddEdge(0, 1, 0)
+	b.AddEdge(1, 2, 1)
+
+	fmt.Println(graph.GEDWithin(a, b, 5))
+	fmt.Println(graph.GEDWithin(a, b, 1))
+	// Output:
+	// 2
+	// -1
+}
+
+// Subgraph isomorphism with a wildcard vertex label.
+func ExampleSubgraphIsomorphic() {
+	pattern := graph.New(2)
+	pattern.SetVertexLabel(0, 'C')
+	pattern.SetVertexLabel(1, graph.Wildcard)
+	pattern.AddEdge(0, 1, 0)
+
+	host := graph.New(3)
+	host.SetVertexLabel(0, 'C')
+	host.SetVertexLabel(1, 'O')
+	host.SetVertexLabel(2, 'N')
+	host.AddEdge(0, 1, 0)
+
+	fmt.Println(graph.SubgraphIsomorphic(pattern, host))
+	// Output:
+	// true
+}

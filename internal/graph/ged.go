@@ -1,0 +1,185 @@
+package graph
+
+// GEDWithin returns the exact graph edit distance between a and b if it
+// is at most tau, and −1 otherwise. Edit operations (unit cost each):
+// insert/delete an isolated labeled vertex, change a vertex label,
+// insert/delete a labeled edge, change an edge label.
+//
+// The search is a branch-and-bound over injective mappings from a's
+// vertices to b's vertices or ε (deletion), ordered by descending
+// degree, pruned with the remaining-label-multiset lower bound.
+func GEDWithin(a, b *Graph, tau int) int {
+	if tau < 0 {
+		return -1
+	}
+	// Cheap global bound first.
+	la, lb := Labels(a), Labels(b)
+	if LabelLowerBound(la, lb, a.n, b.n, a.EdgeCount(), b.EdgeCount()) > tau {
+		return -1
+	}
+	s := &gedState{a: a, b: b, tau: tau, best: tau + 1}
+	s.order = degreeOrder(a)
+	s.bEdges = b.Edges()
+	s.phi = make([]int, a.n)
+	for i := range s.phi {
+		s.phi[i] = -1
+	}
+	s.usedB = make([]bool, b.n)
+	s.remA = make(map[int32]int)
+	s.remB = make(map[int32]int)
+	for _, l := range a.vlab {
+		s.remA[l]++
+	}
+	for _, l := range b.vlab {
+		s.remB[l]++
+	}
+	s.search(0, 0)
+	if s.best > tau {
+		return -1
+	}
+	return s.best
+}
+
+// GED returns the exact graph edit distance, for small graphs (tests
+// and examples). It grows the threshold until the bounded search
+// succeeds.
+func GED(a, b *Graph) int {
+	for tau := 0; ; tau++ {
+		if d := GEDWithin(a, b, tau); d >= 0 {
+			return d
+		}
+	}
+}
+
+type gedState struct {
+	a, b   *Graph
+	tau    int
+	best   int
+	order  []int
+	bEdges []Edge
+	phi    []int // a-vertex -> b-vertex or -1 (ε); indexed by a-vertex
+	usedB  []bool
+	remA   map[int32]int
+	remB   map[int32]int
+}
+
+func degreeOrder(g *Graph) []int {
+	order := make([]int, g.n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && g.Degree(order[j]) > g.Degree(order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}
+
+// vertexLB is the remaining-vertex lower bound: every surplus vertex
+// costs an insertion or deletion, and every label-mismatched pairing
+// costs a relabel.
+func (s *gedState) vertexLB(remACount, remBCount int) int {
+	inter := 0
+	for l, ca := range s.remA {
+		if ca == 0 {
+			continue
+		}
+		if cb := s.remB[l]; cb > 0 {
+			inter += min(ca, cb)
+		}
+	}
+	return max(remACount, remBCount) - inter
+}
+
+func (s *gedState) search(step, cost int) {
+	if cost >= s.best {
+		return
+	}
+	if step == len(s.order) {
+		// Account for unmapped b-vertices and every b-edge with at
+		// least one unmapped endpoint.
+		total := cost
+		for v := 0; v < s.b.n; v++ {
+			if !s.usedB[v] {
+				total++
+			}
+		}
+		for _, e := range s.bEdges {
+			if !s.usedB[e.U] || !s.usedB[e.V] {
+				total++
+			}
+		}
+		if total < s.best {
+			s.best = total
+		}
+		return
+	}
+	remACount := len(s.order) - step
+	remBCount := 0
+	for v := 0; v < s.b.n; v++ {
+		if !s.usedB[v] {
+			remBCount++
+		}
+	}
+	if cost+s.vertexLB(remACount, remBCount) >= s.best {
+		return
+	}
+
+	u := s.order[step]
+	ul := s.a.vlab[u]
+
+	// Try mapping u to each unused b-vertex, label matches first.
+	try := func(v int) {
+		delta := 0
+		vl := s.b.vlab[v]
+		if ul != vl {
+			delta++
+		}
+		// Edges between u and previously mapped a-vertices.
+		for _, w := range s.order[:step] {
+			e1 := s.a.elab[u*s.a.n+w]
+			var e2 int32 = -1
+			if pw := s.phi[w]; pw >= 0 {
+				e2 = s.b.elab[v*s.b.n+pw]
+			}
+			if e1 != e2 && (e1 >= 0 || e2 >= 0) {
+				delta++
+			}
+		}
+		s.phi[u] = v
+		s.usedB[v] = true
+		s.remA[ul]--
+		s.remB[vl]--
+		s.search(step+1, cost+delta)
+		s.remB[vl]++
+		s.remA[ul]++
+		s.usedB[v] = false
+		s.phi[u] = -1
+	}
+	for v := 0; v < s.b.n; v++ {
+		if !s.usedB[v] && s.b.vlab[v] == ul {
+			try(v)
+		}
+	}
+	for v := 0; v < s.b.n; v++ {
+		if !s.usedB[v] && s.b.vlab[v] != ul {
+			try(v)
+		}
+	}
+
+	// Map u to ε: delete the vertex and all its edges to mapped
+	// vertices (edges to unmapped a-vertices are charged later, when
+	// those vertices are processed).
+	delta := 1
+	for _, w := range s.order[:step] {
+		if s.a.elab[u*s.a.n+w] >= 0 {
+			delta++
+		}
+	}
+	s.phi[u] = -1
+	s.remA[ul]--
+	// Note: phi[u] stays -1 (ε) during deeper steps.
+	s.search(step+1, cost+delta)
+	s.remA[ul]++
+}

@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestJoinExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	graphs := moleculeCorpus(rng, 60, 5, 9, 5, 2)
+	for _, tau := range []int{1, 2} {
+		db, err := NewDB(graphs, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := db.JoinLinear()
+		for _, opt := range []Options{ParsOptions(), RingOptions(tau)} {
+			got, st, err := db.Join(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("τ=%d opt=%+v: %d pairs, want %d", tau, opt, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("τ=%d: pair %d = %v, want %v", tau, i, got[i], want[i])
+				}
+			}
+			if st.Results != len(want) {
+				t.Errorf("stats results = %d, want %d", st.Results, len(want))
+			}
+		}
+	}
+}
+
+func TestJoinDuplicateGraphs(t *testing.T) {
+	g := molecule([]int32{1, 2, 3}, [][3]int32{{0, 1, 0}, {1, 2, 1}})
+	graphs := []*Graph{g, g.Clone(), g.Clone()}
+	db, err := NewDB(graphs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, _, err := db.Join(ParsOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Pair{{0, 1}, {0, 2}, {1, 2}}
+	if len(pairs) != len(want) {
+		t.Fatalf("pairs = %v, want %v", pairs, want)
+	}
+	for i := range want {
+		if pairs[i] != want[i] {
+			t.Fatalf("pairs = %v, want %v", pairs, want)
+		}
+	}
+}

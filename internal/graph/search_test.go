@@ -1,0 +1,222 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// moleculeCorpus generates AIDS-like labeled graphs with planted
+// near-duplicates.
+func moleculeCorpus(rng *rand.Rand, n, minV, maxV, vlabels, elabels int) []*Graph {
+	out := make([]*Graph, n)
+	for i := range out {
+		nv := minV + rng.Intn(maxV-minV+1)
+		g := New(nv)
+		for v := 0; v < nv; v++ {
+			g.SetVertexLabel(v, int32(rng.Intn(vlabels)))
+		}
+		// Spanning-tree-ish connectivity plus a few extra edges.
+		for v := 1; v < nv; v++ {
+			g.AddEdge(v, rng.Intn(v), int32(rng.Intn(elabels)))
+		}
+		extra := rng.Intn(nv/2 + 1)
+		for e := 0; e < extra; e++ {
+			u, v := rng.Intn(nv), rng.Intn(nv)
+			if u != v && !g.HasEdge(u, v) {
+				g.AddEdge(u, v, int32(rng.Intn(elabels)))
+			}
+		}
+		out[i] = g
+	}
+	// Near-duplicates: copy an earlier graph and perturb a little.
+	for i := n / 2; i < n; i += 3 {
+		g := out[rng.Intn(n/2)].Clone()
+		edits := rng.Intn(3)
+		for e := 0; e < edits; e++ {
+			switch rng.Intn(2) {
+			case 0:
+				g.SetVertexLabel(rng.Intn(g.N()), int32(rng.Intn(vlabels)))
+			default:
+				es := g.Edges()
+				if len(es) > 1 {
+					ed := es[rng.Intn(len(es))]
+					g.RemoveEdge(ed.U, ed.V)
+				}
+			}
+		}
+		out[i] = g
+	}
+	return out
+}
+
+// TestExactness: Pars and Ring return exactly the linear-scan results.
+func TestExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	graphs := moleculeCorpus(rng, 120, 5, 10, 6, 2)
+	for _, tau := range []int{1, 2, 3} {
+		db, err := NewDB(graphs, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 12; trial++ {
+			q := graphs[rng.Intn(len(graphs))]
+			want := db.SearchLinear(q)
+			for _, opt := range []Options{ParsOptions(), RingOptions(2), RingOptions(tau), RingOptions(tau + 1)} {
+				got, _, err := db.Search(q, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !equalInts(got, want) {
+					t.Fatalf("τ=%d opt=%+v: got %v want %v", tau, opt, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRingCandidateSubset: ring candidates never exceed Pars candidates
+// and shrink with chain length.
+func TestRingCandidateSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	graphs := moleculeCorpus(rng, 200, 6, 12, 4, 2)
+	const tau = 3
+	db, err := NewDB(graphs, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 8; trial++ {
+		q := graphs[rng.Intn(len(graphs))]
+		prev := -1
+		for l := 1; l <= tau+1; l++ {
+			_, st, err := db.Search(q, RingOptions(l))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prev >= 0 && st.Candidates > prev {
+				t.Fatalf("candidates grew at l=%d: %d -> %d", l, prev, st.Candidates)
+			}
+			prev = st.Candidates
+			if st.Results > st.Candidates {
+				t.Fatalf("results %d > candidates %d", st.Results, st.Candidates)
+			}
+		}
+	}
+}
+
+// TestPaperExample12Scenario captures the behaviour of §6.4 Example 12:
+// a molecule-like data graph whose first part embeds into the query
+// (so Pars admits it) but whose ged exceeds τ = 2, and whose second
+// part needs ≥ 2 deletions to embed so the l = 2 ring chain filters it.
+func TestPaperExample12Scenario(t *testing.T) {
+	const (
+		lS int32 = 0
+		lC int32 = 1
+		lP int32 = 2
+		lO int32 = 3
+		lN int32 = 4
+	)
+	// x: C-C core, with a S-P tail off the S and an O off the core.
+	x := molecule(
+		[]int32{lC, lC, lS, lP, lO},
+		[][3]int32{{0, 1, 0}, {1, 2, 0}, {2, 3, 0}, {1, 4, 0}},
+	)
+	// q: keeps the C-C core but the S hangs on a different bond label,
+	// P is gone (an N and a C appear instead).
+	q := molecule(
+		[]int32{lC, lC, lS, lN, lC},
+		[][3]int32{{0, 1, 0}, {1, 2, 1}, {1, 3, 0}, {1, 4, 0}},
+	)
+	const tau = 2
+	d := GED(x, q)
+	if d <= tau {
+		t.Fatalf("scenario needs ged > τ, got %d", d)
+	}
+	// Fix the partition: part 0 = the C-C core (embeds into q), part 1
+	// = {S, P} (needs ≥ 2 deletions: wildcard P and its bond context),
+	// part 2 = {O}.
+	parts := func(g *Graph, m int) [][]int {
+		if g == x && m == 3 {
+			return [][]int{{0, 1}, {2, 3}, {4}}
+		}
+		return BFSPartitioner(g, m)
+	}
+	db, err := NewDBWithPartitioner([]*Graph{x}, tau, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Part 0 embeds: Pars keeps x as a candidate.
+	if !SubgraphIsomorphic(x.InducedSubgraph([]int{0, 1}), q) {
+		t.Fatal("part 0 should embed into q")
+	}
+	_, stPars, err := db.Search(q, ParsOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stPars.Candidates != 1 {
+		t.Errorf("Pars candidates = %d, want 1 (false positive)", stPars.Candidates)
+	}
+	// Ring at l = 2: box 0 = 0, but box 1 needs more than
+	// ⌊2·τ/m⌋ = 1 deletion, so no prefix-viable chain of length 2.
+	_, stRing, err := db.Search(q, RingOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stRing.Candidates != 0 {
+		t.Errorf("Ring candidates = %d, want 0 (filtered)", stRing.Candidates)
+	}
+	if res, _, _ := db.Search(q, ParsOptions()); len(res) != 0 {
+		t.Errorf("x must not be a result: %v", res)
+	}
+}
+
+func TestBFSPartitioner(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 60; trial++ {
+		g := randomGraph(rng, 1+rng.Intn(15), 3, 2, 0.3)
+		m := 1 + rng.Intn(6)
+		parts := BFSPartitioner(g, m)
+		if len(parts) != m {
+			t.Fatalf("got %d parts, want %d", len(parts), m)
+		}
+		seen := make([]bool, g.N())
+		total := 0
+		for _, p := range parts {
+			for _, v := range p {
+				if seen[v] {
+					t.Fatal("vertex in two parts")
+				}
+				seen[v] = true
+				total++
+			}
+		}
+		if total != g.N() {
+			t.Fatalf("parts cover %d of %d vertices", total, g.N())
+		}
+	}
+}
+
+func TestDBValidation(t *testing.T) {
+	if _, err := NewDB(nil, -1); err == nil {
+		t.Error("negative τ should fail")
+	}
+	bad := func(g *Graph, m int) [][]int { return make([][]int, m+1) }
+	if _, err := NewDBWithPartitioner([]*Graph{New(3)}, 1, bad); err == nil {
+		t.Error("wrong group count should fail")
+	}
+	uncovering := func(g *Graph, m int) [][]int { return make([][]int, m) }
+	if _, err := NewDBWithPartitioner([]*Graph{New(3)}, 1, uncovering); err == nil {
+		t.Error("non-covering partition should fail")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,35 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSkipVerify: identical filtering, no verification, no results.
+func TestSkipVerify(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	graphs := moleculeCorpus(rng, 80, 5, 9, 5, 2)
+	db, err := NewDB(graphs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 6; trial++ {
+		q := graphs[rng.Intn(len(graphs))]
+		_, stFull, err := db.Search(q, RingOptions(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := RingOptions(2)
+		opt.SkipVerify = true
+		res, stSkip, err := db.Search(q, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 0 {
+			t.Fatal("SkipVerify produced results")
+		}
+		if stSkip.Candidates != stFull.Candidates || stSkip.BoxChecks != stFull.BoxChecks {
+			t.Fatalf("filter work differs: %+v vs %+v", stSkip, stFull)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package graph
+
+// SubgraphIsomorphic reports whether pattern p embeds into g: an
+// injective vertex mapping that preserves vertex labels (Wildcard in
+// the pattern matches anything), and maps every pattern edge to a
+// g-edge with the same label. Extra edges in g are allowed (non-induced
+// embedding), which is the notion the partition filter needs.
+func SubgraphIsomorphic(p, g *Graph) bool {
+	if p.n == 0 {
+		return true
+	}
+	if p.n > g.n || p.EdgeCount() > g.EdgeCount() {
+		return false
+	}
+	order := matchOrder(p)
+	phi := make([]int, p.n)
+	used := make([]bool, g.n)
+	for i := range phi {
+		phi[i] = -1
+	}
+	var match func(step int) bool
+	match = func(step int) bool {
+		if step == len(order) {
+			return true
+		}
+		u := order[step]
+		ul := p.vlab[u]
+		ud := p.Degree(u)
+		for v := 0; v < g.n; v++ {
+			if used[v] {
+				continue
+			}
+			if ul != Wildcard && ul != g.vlab[v] {
+				continue
+			}
+			if ud > g.Degree(v) {
+				continue
+			}
+			ok := true
+			for w := 0; w < p.n; w++ {
+				el := p.elab[u*p.n+w]
+				if el < 0 || phi[w] < 0 {
+					continue
+				}
+				if g.elab[v*g.n+phi[w]] != el {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			phi[u] = v
+			used[v] = true
+			if match(step + 1) {
+				return true
+			}
+			phi[u] = -1
+			used[v] = false
+		}
+		return false
+	}
+	return match(0)
+}
+
+// matchOrder returns a vertex order that maps connected, high-degree
+// vertices early: start from the max-degree vertex, then repeatedly
+// pick the unmapped vertex with the most mapped neighbours (ties by
+// degree).
+func matchOrder(p *Graph) []int {
+	n := p.n
+	order := make([]int, 0, n)
+	placed := make([]bool, n)
+	for len(order) < n {
+		best, bestConn, bestDeg := -1, -1, -1
+		for u := 0; u < n; u++ {
+			if placed[u] {
+				continue
+			}
+			conn := 0
+			for _, v := range order {
+				if p.HasEdge(u, v) {
+					conn++
+				}
+			}
+			d := p.Degree(u)
+			if conn > bestConn || (conn == bestConn && d > bestDeg) {
+				best, bestConn, bestDeg = u, conn, d
+			}
+		}
+		order = append(order, best)
+		placed[best] = true
+	}
+	return order
+}
+
+// MinDeletionOps returns the smallest k ≤ budget such that some variant
+// of part produced by k deletion operations — delete an edge, delete an
+// isolated vertex, or change a vertex label to Wildcard — is
+// subgraph-isomorphic to q; it returns budget+1 when no such variant
+// exists. Because ged(part, q') ≤ t implies a ≤t-deletion variant
+// embeds into q (each edit operation has a deletion "shadow"), the
+// result is an admissible lower bound for the §6.4 box value.
+func MinDeletionOps(part, q *Graph, budget int) int {
+	if budget < 0 {
+		budget = 0
+	}
+	for k := 0; k <= budget; k++ {
+		if existsVariant(part.Clone(), q, k) {
+			return k
+		}
+	}
+	return budget + 1
+}
+
+// existsVariant explores variants reachable with exactly ≤ ops
+// deletions in the canonical order edge-deletions → label wildcards →
+// isolated-vertex deletions, testing the embedding at every node. It
+// mutates g during the walk and restores it on return.
+func existsVariant(g *Graph, q *Graph, ops int) bool {
+	if SubgraphIsomorphic(g, q) {
+		return true
+	}
+	if ops == 0 {
+		return false
+	}
+	return deleteEdges(g, q, ops, 0)
+}
+
+func deleteEdges(g, q *Graph, ops, fromU int) bool {
+	if ops > 0 {
+		for u := fromU; u < g.n; u++ {
+			for v := u + 1; v < g.n; v++ {
+				l := g.EdgeLabel(u, v)
+				if l < 0 {
+					continue
+				}
+				g.RemoveEdge(u, v)
+				if SubgraphIsomorphic(g, q) || deleteEdges(g, q, ops-1, u) {
+					g.AddEdge(u, v, l)
+					return true
+				}
+				g.AddEdge(u, v, l)
+			}
+		}
+	}
+	return wildcardLabels(g, q, ops, 0)
+}
+
+func wildcardLabels(g, q *Graph, ops, fromV int) bool {
+	if ops > 0 {
+		for v := fromV; v < g.n; v++ {
+			l := g.vlab[v]
+			if l == Wildcard {
+				continue
+			}
+			g.vlab[v] = Wildcard
+			if SubgraphIsomorphic(g, q) || wildcardLabels(g, q, ops-1, v+1) {
+				g.vlab[v] = l
+				return true
+			}
+			g.vlab[v] = l
+		}
+	}
+	return deleteVertices(g, q, ops)
+}
+
+// deleteVertices handles the final phase: deleting isolated vertices.
+// Deleting more vertices only relaxes the embedding, so any working
+// subset extends to a working subset of maximal size — but which
+// vertices are dropped matters, so all subsets of that size are tried.
+func deleteVertices(g, q *Graph, ops int) bool {
+	if ops == 0 {
+		return false
+	}
+	var isolated []int
+	for v := 0; v < g.n; v++ {
+		if g.Degree(v) == 0 {
+			isolated = append(isolated, v)
+		}
+	}
+	if len(isolated) == 0 {
+		return false
+	}
+	k := ops
+	if k > len(isolated) {
+		k = len(isolated)
+	}
+	drop := make(map[int]bool, k)
+	var choose func(from, left int) bool
+	choose = func(from, left int) bool {
+		if left == 0 {
+			keep := make([]int, 0, g.n-k)
+			for v := 0; v < g.n; v++ {
+				if !drop[v] {
+					keep = append(keep, v)
+				}
+			}
+			return SubgraphIsomorphic(g.InducedSubgraph(keep), q)
+		}
+		for i := from; i+left <= len(isolated); i++ {
+			drop[isolated[i]] = true
+			if choose(i+1, left-1) {
+				delete(drop, isolated[i])
+				return true
+			}
+			delete(drop, isolated[i])
+		}
+		return false
+	}
+	return choose(0, k)
+}

@@ -1,0 +1,26 @@
+package hamming
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/parallel"
+)
+
+// BatchResult holds the outcome of one query of a batch.
+type BatchResult struct {
+	IDs   []int
+	Stats Stats
+	Err   error
+}
+
+// SearchBatch answers many queries concurrently over a worker pool.
+// The index is immutable after NewDB and Search keeps all scratch
+// per-call, so workers share the DB safely. workers ≤ 0 selects
+// GOMAXPROCS. Results are positionally aligned with queries.
+func (db *DB) SearchBatch(queries []bitvec.Vector, tau int, opt Options, workers int) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	parallel.ForEach(len(queries), workers, func(i int) {
+		ids, st, err := db.Search(queries[i], tau, opt)
+		out[i] = BatchResult{IDs: ids, Stats: st, Err: err}
+	})
+	return out
+}

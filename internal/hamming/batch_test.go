@@ -1,0 +1,44 @@
+package hamming
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+func TestSearchBatchMatchesSerial(t *testing.T) {
+	db, rng := randomDB(t, 400, 64, 8, 91)
+	queries := make([]bitvec.Vector, 20)
+	for i := range queries {
+		queries[i] = bitvec.Random(rng, 64)
+	}
+	const tau = 10
+	opt := RingOptions(4)
+	for _, workers := range []int{0, 1, 3, 16} {
+		got := db.SearchBatch(queries, tau, opt, workers)
+		if len(got) != len(queries) {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, q := range queries {
+			want, _, err := db.Search(q, tau, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[i].Err != nil {
+				t.Fatal(got[i].Err)
+			}
+			if !equalInts(got[i].IDs, want) {
+				t.Fatalf("workers=%d query %d: batch diverges from serial", workers, i)
+			}
+		}
+	}
+}
+
+func TestSearchBatchPropagatesErrors(t *testing.T) {
+	db, rng := randomDB(t, 50, 64, 8, 92)
+	bad := bitvec.Random(rng, 32) // wrong dimension
+	out := db.SearchBatch([]bitvec.Vector{bad}, 5, GPHOptions(), 2)
+	if out[0].Err == nil {
+		t.Fatal("expected dimension error")
+	}
+}

@@ -1,0 +1,28 @@
+package hamming_test
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/hamming"
+)
+
+// Index binary codes once, then search with the pigeonring filter.
+func ExampleDB_Search() {
+	codes := []string{
+		"11111111 00000000",
+		"11111110 00000000", // distance 1 from the first
+		"00000000 11111111",
+		"11110000 00001111",
+	}
+	vecs := make([]bitvec.Vector, len(codes))
+	for i, s := range codes {
+		vecs[i], _ = bitvec.FromString(s)
+	}
+	db, _ := hamming.NewDB(vecs, 4)
+	q := vecs[0]
+	ids, _, _ := db.Search(q, 2, hamming.RingOptions(3))
+	fmt.Println(ids)
+	// Output:
+	// [0 1]
+}

@@ -1,0 +1,325 @@
+// Package hamming implements thresholded Hamming distance search
+// (Problem 2 of the pigeonring paper) with the GPH algorithm as the
+// pigeonhole-principle baseline and its pigeonring upgrade "Ring"
+// (§6.1).
+//
+// The filtering instance is the paper's:
+//
+//   - Extract: the d dimensions are partitioned into m disjoint parts.
+//   - Box: b_i(x, q) = H(x_i, q_i), the Hamming distance over part i.
+//   - Bound: D(τ) = τ.
+//
+// Because the parts are disjoint, ‖B(x, q)‖₁ = H(x, q) and the instance
+// is complete and tight (Lemma 7). GPH allocates integer thresholds
+// t_0..t_{m-1} with Σt = τ−m+1 via a cost model (Theorems 5/7, integer
+// reduction); a candidate must have some part with H(x_i, q_i) ≤ t_i.
+// Ring additionally requires the chain starting at that part to be
+// prefix-viable for the configured chain length (Theorem 7).
+//
+// The index maps each part value to the list of vector ids holding it;
+// candidate generation enumerates the radius-t_i ball around each query
+// part (exactly GPH's probing scheme), so the Ring modification is
+// confined to the second step, as §7 of the paper prescribes.
+package hamming
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+)
+
+// Allocation selects how the per-part thresholds are chosen.
+type Allocation int
+
+const (
+	// AllocCostModel greedily assigns threshold increments to the parts
+	// where they are estimated to add the fewest candidates — the GPH
+	// cost model, estimated on a data sample.
+	AllocCostModel Allocation = iota
+	// AllocUniform spreads the threshold budget evenly across parts
+	// (the ablation baseline for the cost model).
+	AllocUniform
+)
+
+// Options configure a search.
+type Options struct {
+	// ChainLength is the pigeonring chain length l. 1 reproduces GPH
+	// exactly; the paper finds l = 5 or 6 best for Hamming search.
+	ChainLength int
+	// Alloc selects the threshold allocation strategy.
+	Alloc Allocation
+	// NoIntegerReduction disables Theorem 7 integer reduction and uses
+	// plain variable threshold allocation with Σt = τ (Theorem 6). It
+	// exists for the ablation benchmark; GPH always reduces.
+	NoIntegerReduction bool
+	// SkipVerify stops after candidate generation: Stats are filled
+	// but no verification runs and no results are returned. It exists
+	// to measure the filtering cost separately, the "Cand." series of
+	// the paper's time plots.
+	SkipVerify bool
+}
+
+// GPHOptions returns the configuration that reproduces the GPH baseline.
+func GPHOptions() Options { return Options{ChainLength: 1, Alloc: AllocCostModel} }
+
+// RingOptions returns the pigeonring configuration with chain length l.
+func RingOptions(l int) Options { return Options{ChainLength: l, Alloc: AllocCostModel} }
+
+// Stats reports the work a search performed.
+type Stats struct {
+	// Candidates is the number of distinct objects that survived all
+	// filters and were verified.
+	Candidates int
+	// Results is the number of objects with H(x, q) ≤ τ.
+	Results int
+	// Probes is the number of posting-list entries scanned.
+	Probes int
+	// Enumerated is the number of ball values probed against the index.
+	Enumerated int
+	// BoxChecks is the number of box evaluations performed by the
+	// chain-filter step (zero when ChainLength = 1).
+	BoxChecks int
+	// Thresholds is the allocation the cost model chose.
+	Thresholds []int
+}
+
+// DB is an immutable database of equal-dimension binary vectors indexed
+// for GPH/Ring search. Build it once with NewDB; Search is safe for
+// concurrent use with distinct accepted-buffers, so the DB hands out
+// per-call scratch internally.
+type DB struct {
+	vecs []bitvec.Vector
+	part bitvec.Partitioning
+	// index[i] maps the value of part i to the ids holding that value.
+	index []map[uint64][]int32
+	// sample ids used by the cost model.
+	sample []int32
+}
+
+// NewDB indexes vecs (all of dimension d) under an m-part equal-width
+// partitioning.
+func NewDB(vecs []bitvec.Vector, m int) (*DB, error) {
+	if len(vecs) == 0 {
+		return nil, fmt.Errorf("hamming: empty database")
+	}
+	d := vecs[0].Dim()
+	for i, v := range vecs {
+		if v.Dim() != d {
+			return nil, fmt.Errorf("hamming: vector %d has dimension %d, want %d", i, v.Dim(), d)
+		}
+	}
+	if m < 1 || m > d {
+		return nil, fmt.Errorf("hamming: invalid part count m=%d for d=%d", m, d)
+	}
+	part := bitvec.NewEqualPartitioning(d, m)
+	index := make([]map[uint64][]int32, m)
+	for i := 0; i < m; i++ {
+		index[i] = make(map[uint64][]int32)
+	}
+	for id, v := range vecs {
+		for i := 0; i < m; i++ {
+			val := part.Extract(v, i)
+			index[i][val] = append(index[i][val], int32(id))
+		}
+	}
+	const sampleSize = 256
+	step := len(vecs)/sampleSize + 1
+	var sample []int32
+	for id := 0; id < len(vecs); id += step {
+		sample = append(sample, int32(id))
+	}
+	return &DB{vecs: vecs, part: part, index: index, sample: sample}, nil
+}
+
+// Len returns the number of indexed vectors.
+func (db *DB) Len() int { return len(db.vecs) }
+
+// Dim returns the vector dimension.
+func (db *DB) Dim() int { return db.part.D }
+
+// M returns the number of parts.
+func (db *DB) M() int { return db.part.M() }
+
+// Vector returns the indexed vector with the given id.
+func (db *DB) Vector(id int) bitvec.Vector { return db.vecs[id] }
+
+// allocate chooses integer thresholds t_0..t_{m-1} summing to total.
+// Negative thresholds disable a part (its box can never be viable),
+// which is how budgets below zero per part are expressed.
+func (db *DB) allocate(q bitvec.Vector, total int, mode Allocation) []int {
+	m := db.part.M()
+	t := make([]int, m)
+	if mode == AllocUniform {
+		base := total / m
+		rem := total - base*m
+		for i := range t {
+			t[i] = base
+			if rem > 0 {
+				t[i]++
+				rem--
+			} else if rem < 0 {
+				t[i]--
+				rem++
+			}
+		}
+		return t
+	}
+	// Cost model: start every part at −1 (disabled) and hand out
+	// total+m increments, each to the part whose next increment is
+	// estimated to be cheapest. The estimate is the number of sample
+	// vectors at part distance exactly t+1 (scaled to the database)
+	// plus the marginal ball-enumeration cost.
+	for i := range t {
+		t[i] = -1
+	}
+	increments := total + m
+	if increments <= 0 {
+		return t
+	}
+	// distHist[i][k] = number of sample vectors whose part i is at
+	// distance k from the query part.
+	distHist := make([][]int, m)
+	for i := 0; i < m; i++ {
+		distHist[i] = make([]int, db.part.Width(i)+1)
+		for _, id := range db.sample {
+			distHist[i][db.part.PartDistance(db.vecs[id], q, i)]++
+		}
+	}
+	scale := float64(len(db.vecs)) / float64(len(db.sample))
+	const enumWeight = 0.5 // relative cost of probing one ball value
+	marginal := func(i int) float64 {
+		next := t[i] + 1
+		w := db.part.Width(i)
+		if next > w {
+			return float64(1 << 62) // cannot widen further
+		}
+		cands := float64(distHist[i][next]) * scale
+		balls := float64(binom(w, next)) * enumWeight
+		return cands + balls
+	}
+	for step := 0; step < increments; step++ {
+		best, bestCost := -1, 0.0
+		for i := 0; i < m; i++ {
+			c := marginal(i)
+			if best == -1 || c < bestCost {
+				best, bestCost = i, c
+			}
+		}
+		t[best]++
+	}
+	return t
+}
+
+func binom(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	c := 1
+	for i := 0; i < k; i++ {
+		c = c * (n - i) / (i + 1)
+	}
+	return c
+}
+
+// Search returns the ids of all vectors within Hamming distance tau of
+// q, in ascending id order, along with search statistics.
+func (db *DB) Search(q bitvec.Vector, tau int, opt Options) ([]int, Stats, error) {
+	var st Stats
+	if q.Dim() != db.Dim() {
+		return nil, st, fmt.Errorf("hamming: query dimension %d, want %d", q.Dim(), db.Dim())
+	}
+	if tau < 0 {
+		return nil, st, fmt.Errorf("hamming: negative threshold %d", tau)
+	}
+	m := db.part.M()
+	l := opt.ChainLength
+	if l < 1 {
+		l = 1
+	}
+	if l > m {
+		l = m
+	}
+
+	total := tau - m + 1
+	if opt.NoIntegerReduction {
+		total = tau
+	}
+	t := db.allocate(q, total, opt.Alloc)
+	st.Thresholds = t
+
+	tf := make([]float64, m)
+	for i, v := range t {
+		tf[i] = float64(v)
+	}
+	var filter *core.Filter
+	if opt.NoIntegerReduction {
+		filter = core.NewVariable(tf, l, core.LE)
+	} else {
+		filter = core.NewIntegerReduction(tf, l, core.LE)
+	}
+
+	accepted := make([]bool, len(db.vecs))
+	var results []int
+	qParts := make([]uint64, m)
+	for i := 0; i < m; i++ {
+		qParts[i] = db.part.Extract(q, i)
+	}
+
+	// One lazy box ring is shared across all chain checks of the
+	// query; cur is repointed at the object under test, keeping the
+	// hot loop allocation free.
+	var cur bitvec.Vector
+	boxes := core.BoxFunc{M: m, F: func(j int) float64 {
+		st.BoxChecks++
+		return float64(db.part.PartDistance(cur, q, j))
+	}}
+
+	for i := 0; i < m; i++ {
+		if t[i] < 0 {
+			continue
+		}
+		w := db.part.Width(i)
+		ti := t[i]
+		if ti > w {
+			ti = w
+		}
+		bitvec.EnumerateBall(qParts[i], w, ti, func(u uint64) {
+			st.Enumerated++
+			postings := db.index[i][u]
+			st.Probes += len(postings)
+			for _, id := range postings {
+				if accepted[id] {
+					continue
+				}
+				if l > 1 {
+					cur = db.vecs[id]
+					if !filter.PrefixViableFrom(boxes, i) {
+						continue
+					}
+				}
+				accepted[id] = true
+				st.Candidates++
+				if !opt.SkipVerify && bitvec.HammingAbandon(db.vecs[id], q, tau) >= 0 {
+					results = append(results, int(id))
+				}
+			}
+		})
+	}
+	sort.Ints(results)
+	st.Results = len(results)
+	return results, st, nil
+}
+
+// SearchLinear scans the whole database; it is the ground truth used by
+// tests and the naïve baseline cost reference.
+func (db *DB) SearchLinear(q bitvec.Vector, tau int) []int {
+	var results []int
+	for id, v := range db.vecs {
+		if bitvec.HammingAbandon(v, q, tau) >= 0 {
+			results = append(results, id)
+		}
+	}
+	return results
+}

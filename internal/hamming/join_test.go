@@ -1,0 +1,66 @@
+package hamming
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+func TestJoinExactness(t *testing.T) {
+	db, _ := randomDB(t, 300, 64, 8, 77)
+	for _, tau := range []int{2, 6, 12} {
+		want := db.JoinLinear(tau)
+		for _, opt := range []Options{GPHOptions(), RingOptions(4), RingOptions(8)} {
+			got, st, err := db.Join(tau, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("τ=%d opt=%+v: %d pairs, want %d", tau, opt, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("τ=%d: pair %d = %v, want %v", tau, i, got[i], want[i])
+				}
+			}
+			if st.Results != len(want) {
+				t.Errorf("stats results = %d, want %d", st.Results, len(want))
+			}
+		}
+	}
+}
+
+func TestJoinPairInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	vecs := make([]bitvec.Vector, 120)
+	for i := range vecs {
+		vecs[i] = bitvec.Random(rng, 64)
+	}
+	// Duplicate a few vectors to guarantee zero-distance pairs.
+	vecs[50] = vecs[10].Clone()
+	vecs[51] = vecs[10].Clone()
+	db, err := NewDB(vecs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, _, err := db.Join(0, RingOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[Pair]bool{}
+	for _, p := range pairs {
+		if p.I >= p.J {
+			t.Fatalf("unordered pair %v", p)
+		}
+		if found[p] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		found[p] = true
+	}
+	for _, want := range []Pair{{10, 50}, {10, 51}, {50, 51}} {
+		if !found[want] {
+			t.Errorf("missing duplicate pair %v", want)
+		}
+	}
+}

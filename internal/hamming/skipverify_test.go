@@ -1,0 +1,35 @@
+package hamming
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+// TestSkipVerify: filter work and candidate counts are identical with
+// and without verification; only results differ.
+func TestSkipVerify(t *testing.T) {
+	db, rng := randomDB(t, 300, 64, 8, 121)
+	for trial := 0; trial < 10; trial++ {
+		q := bitvec.Random(rng, 64)
+		full, stFull, err := db.Search(q, 12, RingOptions(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := RingOptions(4)
+		opt.SkipVerify = true
+		skipped, stSkip, err := db.Search(q, 12, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(skipped) != 0 {
+			t.Fatalf("SkipVerify returned results: %v", skipped)
+		}
+		if stSkip.Candidates != stFull.Candidates || stSkip.BoxChecks != stFull.BoxChecks {
+			t.Fatalf("filter work differs: %+v vs %+v", stSkip, stFull)
+		}
+		if len(full) > stFull.Candidates {
+			t.Fatal("results exceed candidates")
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Package parallel provides the tiny worker-pool primitive the search
+// systems use for batch queries. The paper evaluates single-threaded
+// implementations; batching queries across cores is the natural
+// production extension and leaves per-query semantics untouched, since
+// every index in this module is immutable after construction and every
+// Search keeps its scratch per call.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs job(i) for every i in [0, n) on a pool of the given
+// size. workers ≤ 0 selects GOMAXPROCS; a pool of one degenerates to a
+// plain loop. It returns when all jobs have finished.
+func ForEach(n, workers int, job func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				job(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,31 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAllJobs(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 7, 100} {
+		var count atomic.Int64
+		seen := make([]atomic.Bool, 57)
+		ForEach(57, workers, func(i int) {
+			count.Add(1)
+			if seen[i].Swap(true) {
+				t.Errorf("job %d ran twice", i)
+			}
+		})
+		if count.Load() != 57 {
+			t.Fatalf("workers=%d: ran %d of 57 jobs", workers, count.Load())
+		}
+		for i := range seen {
+			if !seen[i].Load() {
+				t.Fatalf("workers=%d: job %d never ran", workers, i)
+			}
+		}
+	}
+}
+
+func TestForEachZeroJobs(t *testing.T) {
+	ForEach(0, 4, func(i int) { t.Error("job ran") })
+}

@@ -1,0 +1,127 @@
+package setsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tokenset"
+)
+
+// AllPairsDB implements the prefix-filter search baseline the paper
+// calls AdaptSearch: the paper disables AdaptSearch's prefix extension
+// so that it coincides with the search version of AllPairs/PPJoin —
+// classic (|x|−t+1)-prefix probing with the length filter and the
+// PPJoin position filter (§8.1).
+type AllPairsDB struct {
+	cfg  Config
+	sets []tokenset.Set
+	// postings maps a prefix token to (id, position) pairs.
+	postings map[int32][]posting
+	// prefLen[i] is the classic prefix length of set i.
+	prefLen []int32
+}
+
+type posting struct {
+	id  int32
+	pos int32
+}
+
+// NewAllPairsDB indexes the classic (|x| − t_min + 1)-prefix of every
+// set with token positions.
+func NewAllPairsDB(sets []tokenset.Set, cfg Config) (*AllPairsDB, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := tokenset.Validate(sets); err != nil {
+		return nil, err
+	}
+	db := &AllPairsDB{
+		cfg:      cfg,
+		sets:     sets,
+		postings: make(map[int32][]posting),
+		prefLen:  make([]int32, len(sets)),
+	}
+	for id, x := range sets {
+		t := cfg.minThreshold(len(x))
+		p := len(x) - t + 1
+		if p < 0 {
+			p = 0
+		}
+		if p > len(x) {
+			p = len(x)
+		}
+		db.prefLen[id] = int32(p)
+		for pos, tok := range x[:p] {
+			db.postings[tok] = append(db.postings[tok], posting{int32(id), int32(pos)})
+		}
+	}
+	return db, nil
+}
+
+// Len returns the number of indexed sets.
+func (db *AllPairsDB) Len() int { return len(db.sets) }
+
+// Search returns the ids of all sets meeting the similarity threshold,
+// ascending. A set becomes a candidate when it shares a prefix token
+// with the query's prefix, survives the length filter, and at least one
+// shared prefix occurrence passes the position filter
+// 1 + min(|x|−i−1, |q|−j−1) ≥ t_pair.
+func (db *AllPairsDB) Search(q tokenset.Set) ([]int, Stats, error) {
+	var st Stats
+	if !q.Valid() {
+		return nil, st, fmt.Errorf("setsim: query set is not sorted/deduplicated")
+	}
+	cfg := db.cfg
+	tq := cfg.minThreshold(len(q))
+	pq := len(q) - tq + 1
+	if pq <= 0 {
+		return nil, st, nil
+	}
+	if pq > len(q) {
+		pq = len(q)
+	}
+	lo, hi := cfg.sizeBounds(len(q))
+
+	// candState: 0 untouched, 1 touched-but-position-filtered,
+	// 2 candidate.
+	state := make([]uint8, len(db.sets))
+	var touched []int32
+	for j := 0; j < pq; j++ {
+		post := db.postings[q[j]]
+		st.Probes += len(post)
+		for _, pe := range post {
+			x := db.sets[pe.id]
+			if len(x) < lo || len(x) > hi {
+				continue
+			}
+			if state[pe.id] == 0 {
+				touched = append(touched, pe.id)
+				state[pe.id] = 1
+			}
+			if state[pe.id] == 2 {
+				continue
+			}
+			tPair := cfg.pairThreshold(len(x), len(q))
+			bound := 1 + min(len(x)-int(pe.pos)-1, len(q)-j-1)
+			if bound >= tPair {
+				state[pe.id] = 2
+			}
+		}
+	}
+	st.Touched = len(touched)
+
+	var results []int
+	for _, id := range touched {
+		if state[id] != 2 {
+			continue
+		}
+		st.Candidates++
+		x := db.sets[id]
+		if tokenset.OverlapAtLeast(x, q, cfg.pairThreshold(len(x), len(q))) {
+			results = append(results, int(id))
+		}
+	}
+	sort.Ints(results)
+	st.Results = len(results)
+	return results, st, nil
+}

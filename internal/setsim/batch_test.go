@@ -1,0 +1,34 @@
+package setsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tokenset"
+)
+
+func TestSearchBatchMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	sets := genSets(rng, 300, 15, 300)
+	db, err := NewPKWiseDB(sets, Config{Measure: Jaccard, Tau: 0.75, M: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]tokenset.Set, 15)
+	for i := range queries {
+		queries[i] = sets[rng.Intn(len(sets))]
+	}
+	out := db.SearchBatch(queries, 2, 4)
+	for i, q := range queries {
+		want, _, err := db.Search(q, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[i].Err != nil {
+			t.Fatal(out[i].Err)
+		}
+		if !equalInts(out[i].IDs, want) {
+			t.Fatalf("query %d: batch diverges from serial", i)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package setsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCountCandidates: identical filtering to Search, no verification.
+func TestCountCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	sets := genSets(rng, 250, 15, 250)
+	db, err := NewPKWiseDB(sets, Config{Measure: Jaccard, Tau: 0.75, M: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		q := sets[rng.Intn(len(sets))]
+		_, stFull, err := db.Search(q, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stSkip, err := db.CountCandidates(q, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stSkip.Candidates != stFull.Candidates || stSkip.Touched != stFull.Touched {
+			t.Fatalf("filter work differs: %+v vs %+v", stSkip, stFull)
+		}
+		if stSkip.Results != 0 {
+			t.Fatal("CountCandidates produced results")
+		}
+	}
+}

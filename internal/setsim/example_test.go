@@ -1,0 +1,25 @@
+package setsim_test
+
+import (
+	"fmt"
+
+	"repro/internal/setsim"
+	"repro/internal/tokenset"
+)
+
+// Jaccard search with the pkwise index and the pigeonring filter
+// (chain length 2).
+func ExamplePKWiseDB_Search() {
+	sets := []tokenset.Set{
+		{1, 2, 3, 4, 5},
+		{1, 2, 3, 4, 6}, // J = 4/6 with set 0
+		{10, 11, 12, 13, 14},
+	}
+	db, _ := setsim.NewPKWiseDB(sets, setsim.Config{
+		Measure: setsim.Jaccard, Tau: 0.6, M: 4,
+	})
+	ids, _, _ := db.Search(sets[0], 2)
+	fmt.Println(ids)
+	// Output:
+	// [0 1]
+}

@@ -1,0 +1,62 @@
+package setsim
+
+import (
+	"sort"
+
+	"repro/internal/tokenset"
+)
+
+// Pair is an unordered result pair of a self-join, with I < J.
+type Pair struct {
+	I, J int
+}
+
+// Join returns every pair of distinct indexed sets meeting the
+// similarity threshold, ordered by (I, J) — the set similarity join
+// setting of AllPairs/PPJoin/PartAlloc, answered with the pkwise or
+// pigeonring filter depending on chainLength.
+func (db *PKWiseDB) Join(chainLength int) ([]Pair, Stats, error) {
+	var pairs []Pair
+	var agg Stats
+	for i := 0; i < db.Len(); i++ {
+		res, st, err := db.Search(db.sets[i], chainLength)
+		if err != nil {
+			return nil, agg, err
+		}
+		agg.Candidates += st.Candidates
+		agg.Probes += st.Probes
+		agg.Touched += st.Touched
+		agg.BoxChecks += st.BoxChecks
+		for _, j := range res {
+			if j < i {
+				pairs = append(pairs, Pair{I: j, J: i})
+			}
+		}
+	}
+	agg.Results = len(pairs)
+	sortPairs(pairs)
+	return pairs, agg, nil
+}
+
+// JoinLinear is the quadratic reference join used by tests.
+func JoinLinear(sets []tokenset.Set, cfg Config) []Pair {
+	var pairs []Pair
+	for i := range sets {
+		for _, j := range SearchLinear(sets, sets[i], cfg) {
+			if j < i {
+				pairs = append(pairs, Pair{I: j, J: i})
+			}
+		}
+	}
+	sortPairs(pairs)
+	return pairs
+}
+
+func sortPairs(pairs []Pair) {
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].I != pairs[b].I {
+			return pairs[a].I < pairs[b].I
+		}
+		return pairs[a].J < pairs[b].J
+	})
+}

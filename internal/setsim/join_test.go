@@ -1,0 +1,59 @@
+package setsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestJoinExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	sets := genSets(rng, 250, 15, 250)
+	for _, tau := range []float64{0.7, 0.85} {
+		cfg := Config{Measure: Jaccard, Tau: tau, M: 5}
+		db, err := NewPKWiseDB(sets, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := JoinLinear(sets, cfg)
+		for l := 1; l <= 3; l++ {
+			got, st, err := db.Join(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("τ=%v l=%d: %d pairs, want %d", tau, l, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("τ=%v l=%d: pair %d = %v, want %v", tau, l, i, got[i], want[i])
+				}
+			}
+			if st.Results != len(want) {
+				t.Errorf("stats results = %d, want %d", st.Results, len(want))
+			}
+		}
+	}
+}
+
+func TestJoinRingFewerCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	sets := genSets(rng, 400, 20, 400)
+	db, err := NewPKWiseDB(sets, Config{Measure: Jaccard, Tau: 0.7, M: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st1, err := db.Join(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st2, err := db.Join(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Candidates > st1.Candidates {
+		t.Errorf("ring join candidates %d > pkwise %d", st2.Candidates, st1.Candidates)
+	}
+	if st1.Results != st2.Results {
+		t.Errorf("result counts differ: %d vs %d", st1.Results, st2.Results)
+	}
+}

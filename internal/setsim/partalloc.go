@@ -1,0 +1,241 @@
+package setsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/tokenset"
+)
+
+// PartAllocDB implements the partition-filter baseline PartAlloc. The
+// Jaccard constraint J(x,q) ≥ τ converts to a symmetric-difference
+// budget |xΔq| ≤ H = ⌊(1−τ)(|x|+|q|)/(1+τ)⌋. The token universe is
+// hashed into m parts; because the parts are disjoint, the per-part
+// differences b_p = |x_p Δ q_p| sum to |xΔq|, and by the pigeonhole
+// principle with integer reduction (Theorem 5) a result must have some
+// part with b_p ≤ t_p for any integer thresholds with Σt = H−m+1.
+//
+// Like the real PartAlloc, thresholds are allocated per query by a
+// greedy cost model over t_p ∈ {−1, 0, 1} (−1 disables a part), and
+// t_p = 1 is answered with 1-deletion neighbourhoods: the index stores
+// each part signature and all its single-token deletions, so
+// |x_p Δ q_p| ≤ 1 is covered by probing q_p against both maps and
+// q_p's own deletions against the exact map. The part count is
+// ⌈(H_max+1)/2⌉ per size group — half of what exact matching alone
+// would need — which is what makes the parts selective and candidate
+// generation expensive, the trade-off §8.3 reports for PartAlloc.
+type PartAllocDB struct {
+	cfg    Config
+	sets   []tokenset.Set
+	groups map[int]*sizeGroup
+}
+
+type sizeGroup struct {
+	size  int
+	parts int
+	// exact[p] maps the hash of a set's part-p token list to ids.
+	exact []map[uint64][]int32
+	// del1[p] maps the hash of every 1-deletion of a set's part-p
+	// token list to ids.
+	del1 []map[uint64][]int32
+}
+
+// maxSymDiff returns the largest |xΔq| compatible with J ≥ τ for the
+// given sizes.
+func maxSymDiff(sx, sq int, tau float64) int {
+	return int(math.Floor((1-tau)*float64(sx+sq)/(1+tau) + eps))
+}
+
+const eps = 1e-9
+
+// NewPartAllocDB builds the per-size-group partition index. Only the
+// Jaccard measure is supported (PartAlloc is defined for it).
+func NewPartAllocDB(sets []tokenset.Set, cfg Config) (*PartAllocDB, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Measure != Jaccard {
+		return nil, fmt.Errorf("setsim: PartAlloc supports only the Jaccard measure")
+	}
+	if err := tokenset.Validate(sets); err != nil {
+		return nil, err
+	}
+	db := &PartAllocDB{cfg: cfg, sets: sets, groups: make(map[int]*sizeGroup)}
+	for id, x := range sets {
+		s := len(x)
+		if s == 0 {
+			continue
+		}
+		g := db.groups[s]
+		if g == nil {
+			// The widest budget the group can face is against the
+			// largest compatible partner; with 1-deletion probing each
+			// part absorbs up to one difference, halving the parts an
+			// exact-match-only index would need.
+			hmax := maxSymDiff(s, int(math.Floor(float64(s)/cfg.Tau+eps)), cfg.Tau)
+			g = &sizeGroup{size: s, parts: (hmax+1+1)/2 + 1}
+			g.exact = make([]map[uint64][]int32, g.parts)
+			g.del1 = make([]map[uint64][]int32, g.parts)
+			for p := range g.exact {
+				g.exact[p] = make(map[uint64][]int32)
+				g.del1[p] = make(map[uint64][]int32)
+			}
+			db.groups[s] = g
+		}
+		partTokens := splitParts(x, g.parts)
+		for p, toks := range partTokens {
+			g.exact[p][tokensHash(toks)] = append(g.exact[p][tokensHash(toks)], int32(id))
+			for drop := range toks {
+				h := tokensHashSkip(toks, drop)
+				g.del1[p][h] = append(g.del1[p][h], int32(id))
+			}
+		}
+	}
+	return db, nil
+}
+
+// splitParts returns the tokens of x assigned to each of m universe
+// parts (token mod m), preserving the sorted order within each part.
+func splitParts(x tokenset.Set, m int) [][]int32 {
+	out := make([][]int32, m)
+	for _, tok := range x {
+		p := int(uint32(tok)) % m
+		out[p] = append(out[p], tok)
+	}
+	return out
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// tokensHash hashes a token list with FNV-1a.
+func tokensHash(toks []int32) uint64 {
+	h := uint64(fnvOffset64)
+	for _, tok := range toks {
+		h = hashToken(h, tok)
+	}
+	return h
+}
+
+// tokensHashSkip hashes the list with one position removed.
+func tokensHashSkip(toks []int32, skip int) uint64 {
+	h := uint64(fnvOffset64)
+	for i, tok := range toks {
+		if i == skip {
+			continue
+		}
+		h = hashToken(h, tok)
+	}
+	return h
+}
+
+func hashToken(h uint64, tok int32) uint64 {
+	u := uint32(tok)
+	h = (h ^ uint64(u&0xff)) * fnvPrime64
+	h = (h ^ uint64((u>>8)&0xff)) * fnvPrime64
+	h = (h ^ uint64((u>>16)&0xff)) * fnvPrime64
+	h = (h ^ uint64((u>>24)&0xff)) * fnvPrime64
+	return h
+}
+
+// Len returns the number of indexed sets.
+func (db *PartAllocDB) Len() int { return len(db.sets) }
+
+// Search returns the ids of all sets with J(x, q) ≥ τ, ascending.
+func (db *PartAllocDB) Search(q tokenset.Set) ([]int, Stats, error) {
+	var st Stats
+	if !q.Valid() {
+		return nil, st, fmt.Errorf("setsim: query set is not sorted/deduplicated")
+	}
+	cfg := db.cfg
+	lo, hi := cfg.sizeBounds(len(q))
+	seen := make(map[int32]bool)
+	var results []int
+	for s := lo; s <= hi; s++ {
+		g := db.groups[s]
+		if g == nil {
+			continue
+		}
+		// Per-pair budget and greedy allocation over t_p ∈ {−1,0,1}:
+		// Σt = H−m+1 (Theorem 5), increments handed to the parts whose
+		// exact bucket for the query signature is smallest.
+		h := maxSymDiff(s, len(q), cfg.Tau)
+		increments := h + 1 // from all −1 up to Σt = H−m+1
+		if increments <= 0 {
+			continue
+		}
+		if increments > 2*g.parts {
+			// Unreachable by construction (the group's part count is
+			// sized for its largest budget), but completeness must not
+			// hinge on that arithmetic: degrade to scanning the group.
+			for _, ids := range g.exact[0] {
+				st.Probes += len(ids)
+				for _, id := range ids {
+					if !seen[id] {
+						seen[id] = true
+						st.Candidates++
+						x := db.sets[id]
+						if tokenset.OverlapAtLeast(x, q, cfg.pairThreshold(len(x), len(q))) {
+							results = append(results, int(id))
+						}
+					}
+				}
+			}
+			continue
+		}
+		partTokens := splitParts(q, g.parts)
+		qHash := make([]uint64, g.parts)
+		cost := make([]int, g.parts)
+		order := make([]int, g.parts)
+		for p := 0; p < g.parts; p++ {
+			qHash[p] = tokensHash(partTokens[p])
+			cost[p] = len(g.exact[p][qHash[p]]) + len(partTokens[p])
+			order[p] = p
+		}
+		sort.Slice(order, func(a, b int) bool { return cost[order[a]] < cost[order[b]] })
+		t := make([]int, g.parts)
+		for p := range t {
+			t[p] = -1
+		}
+		for k := 0; k < increments; k++ {
+			t[order[k%g.parts]]++
+		}
+
+		probe := func(ids []int32) {
+			st.Probes += len(ids)
+			for _, id := range ids {
+				if seen[id] {
+					continue
+				}
+				seen[id] = true
+				st.Candidates++
+				x := db.sets[id]
+				if tokenset.OverlapAtLeast(x, q, cfg.pairThreshold(len(x), len(q))) {
+					results = append(results, int(id))
+				}
+			}
+		}
+		for p := 0; p < g.parts; p++ {
+			if t[p] < 0 {
+				continue
+			}
+			// t = 0 and t = 1 both need the exact probe.
+			probe(g.exact[p][qHash[p]])
+			if t[p] >= 1 {
+				// |Δ| = 1 with x_p ⊃ q_p: x's deletion equals q_p.
+				probe(g.del1[p][qHash[p]])
+				// |Δ| = 1 with x_p ⊂ q_p: q's deletion equals x_p.
+				for drop := range partTokens[p] {
+					probe(g.exact[p][tokensHashSkip(partTokens[p], drop)])
+				}
+			}
+		}
+	}
+	st.Touched = len(seen)
+	sort.Ints(results)
+	st.Results = len(results)
+	return results, st, nil
+}

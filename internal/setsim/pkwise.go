@@ -1,0 +1,248 @@
+package setsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/tokenset"
+)
+
+// PKWiseDB indexes token sets for pkwise search (the pigeonhole
+// baseline) and its pigeonring upgrade. Build it once per (measure, τ)
+// configuration with NewPKWiseDB.
+type PKWiseDB struct {
+	cfg  Config
+	sets []tokenset.Set
+	// px[i] is the class-coverage prefix length of set i.
+	px []int32
+	// postings maps a token to the ids whose prefix contains it.
+	postings map[int32][]int32
+}
+
+// NewPKWiseDB builds the pkwise index: each set's prefix length is the
+// smallest p whose class coverage Σ_k max(0, cnt_k − k + 1) reaches
+// |x| − t + 1 (t being the loosest overlap threshold any compatible
+// partner can impose), and every prefix token is posted.
+func NewPKWiseDB(sets []tokenset.Set, cfg Config) (*PKWiseDB, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := tokenset.Validate(sets); err != nil {
+		return nil, err
+	}
+	db := &PKWiseDB{
+		cfg:      cfg,
+		sets:     sets,
+		px:       make([]int32, len(sets)),
+		postings: make(map[int32][]int32),
+	}
+	for id, x := range sets {
+		t := cfg.minThreshold(len(x))
+		p, _, _ := cfg.prefixInfo(x, t)
+		db.px[id] = int32(p)
+		for _, tok := range x[:p] {
+			db.postings[tok] = append(db.postings[tok], int32(id))
+		}
+	}
+	return db, nil
+}
+
+// Len returns the number of indexed sets.
+func (db *PKWiseDB) Len() int { return len(db.sets) }
+
+// Set returns the indexed set with the given id.
+func (db *PKWiseDB) Set(id int) tokenset.Set { return db.sets[id] }
+
+// PrefixLen returns the indexed class-coverage prefix length of set id.
+func (db *PKWiseDB) PrefixLen(id int) int { return int(db.px[id]) }
+
+// prefixInfo computes the class-coverage prefix of s for overlap
+// threshold t. It returns the prefix length, the per-class token counts
+// within the prefix (indexed 1..M-1), and the coverage shortfall: how
+// far Σ_k max(0, cnt_k−k+1) fell short of the target |s| − t + 1 when
+// the whole set had to be taken as the prefix. A positive shortfall
+// only occurs for tiny or class-skewed sets.
+func (c Config) prefixInfo(s tokenset.Set, t int) (p int, cnt []int, shortfall int) {
+	cnt = make([]int, c.M)
+	target := len(s) - t + 1
+	if target <= 0 {
+		// The set can never reach the threshold (t > |s|) or exactly
+		// matches only when fully consumed; index nothing.
+		return 0, cnt, 0
+	}
+	cov := 0
+	for i, tok := range s {
+		k := c.classOf(tok)
+		cnt[k]++
+		if cnt[k] >= k {
+			cov++
+		}
+		if cov >= target {
+			return i + 1, cnt, 0
+		}
+	}
+	return len(s), cnt, target - cov
+}
+
+// queryPlan carries the per-query derived quantities of the §6.2
+// filtering instance.
+type queryPlan struct {
+	q         tokenset.Set
+	pq        int
+	cnt       []int     // class counts in the query prefix
+	t         []float64 // box thresholds t_0..t_{m-1}
+	tLast     int32     // last token of the query prefix (orientation)
+	minT      int       // the query-side minimum overlap threshold
+	shortfall int
+}
+
+// plan computes the query prefix and the paper's threshold allocation:
+// t_0 = |q|−p_q+1, t_k = k if cnt_k ≥ k else cnt_k+1, which sums to
+// minT + m − 1. A coverage shortfall is subtracted from t_0 so the sum
+// never exceeds the Theorem 7 budget.
+func (db *PKWiseDB) plan(q tokenset.Set) (queryPlan, bool) {
+	cfg := db.cfg
+	minT := cfg.minThreshold(len(q))
+	p, cnt, shortfall := cfg.prefixInfo(q, minT)
+	if p == 0 {
+		return queryPlan{}, false
+	}
+	t := make([]float64, cfg.M)
+	t[0] = float64(len(q)-p+1) - float64(shortfall)
+	for k := 1; k < cfg.M; k++ {
+		if cnt[k] >= k {
+			t[k] = float64(k)
+		} else {
+			t[k] = float64(cnt[k] + 1)
+		}
+	}
+	return queryPlan{
+		q: q, pq: p, cnt: cnt, t: t,
+		tLast: q[p-1], minT: minT, shortfall: shortfall,
+	}, true
+}
+
+// Search returns the ids of all sets meeting the similarity threshold,
+// in ascending order. ChainLength l = 1 reproduces the pkwise filter;
+// l ≥ 2 applies the pigeonring strong form (Theorem 7, ≥ dual) on the
+// class-overlap boxes, with the suffix box replaced by its cheap upper
+// bound as described in the package comment.
+func (db *PKWiseDB) Search(q tokenset.Set, chainLength int) ([]int, Stats, error) {
+	return db.search(q, chainLength, true)
+}
+
+// CountCandidates runs candidate generation only — identical filtering
+// to Search but without verification (the "Cand." series of the
+// paper's time plots).
+func (db *PKWiseDB) CountCandidates(q tokenset.Set, chainLength int) (Stats, error) {
+	_, st, err := db.search(q, chainLength, false)
+	return st, err
+}
+
+func (db *PKWiseDB) search(q tokenset.Set, chainLength int, verify bool) ([]int, Stats, error) {
+	var st Stats
+	if !q.Valid() {
+		return nil, st, fmt.Errorf("setsim: query set is not sorted/deduplicated")
+	}
+	cfg := db.cfg
+	m := cfg.M
+	l := chainLength
+	if l < 1 {
+		l = 1
+	}
+	if l > m {
+		l = m
+	}
+	plan, ok := db.plan(q)
+	if !ok {
+		return nil, st, nil
+	}
+	filter := core.NewIntegerReduction(plan.t, l, core.GE)
+	lo, hi := cfg.sizeBounds(len(q))
+
+	// Count class overlaps between prefixes via the inverted index.
+	counts := make([]uint16, len(db.sets)*(m-1))
+	var touched []int32
+	for _, tok := range plan.q[:plan.pq] {
+		k := cfg.classOf(tok)
+		post := db.postings[tok]
+		st.Probes += len(post)
+		for _, id := range post {
+			sz := len(db.sets[id])
+			if sz < lo || sz > hi {
+				continue
+			}
+			base := int(id) * (m - 1)
+			if countsRowEmpty(counts[base : base+m-1]) {
+				touched = append(touched, id)
+			}
+			counts[base+k-1]++
+		}
+	}
+	st.Touched = len(touched)
+
+	boxes := make(core.Boxes, m)
+	var results []int
+	for _, id := range touched {
+		base := int(id) * (m - 1)
+		if db.decide(plan, id, counts[base:base+m-1], boxes, filter, l, &st) && verify {
+			x := db.sets[id]
+			if tokenset.OverlapAtLeast(x, q, cfg.pairThreshold(len(x), len(q))) {
+				results = append(results, int(id))
+			}
+		}
+	}
+	sort.Ints(results)
+	st.Results = len(results)
+	return results, st, nil
+}
+
+// decide applies the per-object filtering decision shared by the
+// count-merge and k-wise-signature candidate generators: the pkwise
+// condition (some class box at threshold, or a potentially viable
+// suffix box) and, for l ≥ 2, the pigeonring chain check over the
+// class boxes with the optimistic suffix bound. counts holds the m−1
+// class overlaps of the object; boxes is caller-provided scratch.
+func (db *PKWiseDB) decide(plan queryPlan, id int32, counts []uint16, boxes core.Boxes, filter *core.Filter, l int, st *Stats) bool {
+	x := db.sets[id]
+	m := db.cfg.M
+	classViable := false
+	for k := 1; k < m; k++ {
+		boxes[k] = float64(counts[k-1])
+		if boxes[k] >= plan.t[k] {
+			classViable = true
+		}
+	}
+	// Upper bound on the suffix box under the §6.2 orientation rule:
+	// the side whose prefix ends first contributes its suffix against
+	// the whole other set.
+	px := int(db.px[id])
+	var ub0 int
+	if px > 0 && x[px-1] <= plan.tLast {
+		ub0 = min(len(x)-px, len(plan.q))
+	} else {
+		ub0 = min(len(plan.q)-plan.pq, len(x))
+	}
+	boxes[0] = float64(ub0)
+	if !classViable && boxes[0] < plan.t[0] {
+		return false
+	}
+	if l > 1 {
+		st.BoxChecks += m
+		if !filter.HasPrefixViableChain(boxes) {
+			return false
+		}
+	}
+	st.Candidates++
+	return true
+}
+
+func countsRowEmpty(row []uint16) bool {
+	for _, v := range row {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,36 @@
+package strdist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSearchBatchMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	strs := corpus(rng, 250, 8, 20, 4)
+	dict, err := BuildGramDict(strs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewDB(strs, dict, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]string, 15)
+	for i := range queries {
+		queries[i] = strs[rng.Intn(len(strs))]
+	}
+	out := db.SearchBatch(queries, RingOptions(3), 4)
+	for i, q := range queries {
+		want, _, err := db.Search(q, RingOptions(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[i].Err != nil {
+			t.Fatal(out[i].Err)
+		}
+		if !equalInts(out[i].IDs, want) {
+			t.Fatalf("query %d: batch diverges from serial", i)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package strdist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refEditDistance is an independent full-matrix reference.
+func refEditDistance(a, b string) int {
+	dp := make([][]int, len(a)+1)
+	for i := range dp {
+		dp[i] = make([]int, len(b)+1)
+		dp[i][0] = i
+	}
+	for j := 0; j <= len(b); j++ {
+		dp[0][j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			v := dp[i-1][j-1] + cost
+			if d := dp[i-1][j] + 1; d < v {
+				v = d
+			}
+			if d := dp[i][j-1] + 1; d < v {
+				v = d
+			}
+			dp[i][j] = v
+		}
+	}
+	return dp[len(a)][len(b)]
+}
+
+func randString(rng *rand.Rand, maxLen, alphabet int) string {
+	n := rng.Intn(maxLen + 1)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(alphabet))
+	}
+	return string(b)
+}
+
+func TestEditDistanceKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"abc", "abc", 0},
+		{"llabcdefkk", "llabghijkk", 4}, // Example 11's pair
+		{"al-Qaeda", "al-Qaida", 1},     // the paper's intro example
+	}
+	for _, c := range cases {
+		if got := EditDistance(c.a, c.b); got != c.want {
+			t.Errorf("ed(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEditDistanceAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 400; trial++ {
+		a := randString(rng, 24, 4)
+		b := randString(rng, 24, 4)
+		if got, want := EditDistance(a, b), refEditDistance(a, b); got != want {
+			t.Fatalf("ed(%q,%q) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+// TestEditDistanceMetricProperties: symmetry and the triangle
+// inequality, via quick.
+func TestEditDistanceMetricProperties(t *testing.T) {
+	prop := func(ar, br, cr []byte) bool {
+		a := string(clampBytes(ar, 12))
+		b := string(clampBytes(br, 12))
+		c := string(clampBytes(cr, 12))
+		ab, ba := EditDistance(a, b), EditDistance(b, a)
+		if ab != ba {
+			return false
+		}
+		// Identity of indiscernibles.
+		if (ab == 0) != (a == b) {
+			return false
+		}
+		// Triangle inequality.
+		return EditDistance(a, c) <= ab+EditDistance(b, c)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampBytes(raw []byte, maxLen int) []byte {
+	if len(raw) > maxLen {
+		raw = raw[:maxLen]
+	}
+	out := make([]byte, len(raw))
+	for i, b := range raw {
+		out[i] = 'a' + b%4
+	}
+	return out
+}
+
+func TestEditDistanceWithinAgreesWithFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 600; trial++ {
+		a := randString(rng, 30, 5)
+		b := randString(rng, 30, 5)
+		d := refEditDistance(a, b)
+		for _, tau := range []int{0, 1, 2, 3, 5, 8, 30} {
+			got := EditDistanceWithin(a, b, tau)
+			if d <= tau && got != d {
+				t.Fatalf("within(%q,%q,%d) = %d, want %d", a, b, tau, got, d)
+			}
+			if d > tau && got != -1 {
+				t.Fatalf("within(%q,%q,%d) = %d, want -1 (d=%d)", a, b, tau, got, d)
+			}
+		}
+	}
+	if EditDistanceWithin("a", "b", -1) != -1 {
+		t.Error("negative τ must return -1")
+	}
+}
+
+func TestCharMaskContentFilter(t *testing.T) {
+	// ed(x,y) ≤ t ⇒ H(mask) ≤ 2t, so ed ≥ ⌈H/2⌉ (§6.3 content filter).
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 500; trial++ {
+		a := randString(rng, 16, 8)
+		b := randString(rng, 16, 8)
+		lb := contentLowerBound(charMask(a), charMask(b))
+		if d := refEditDistance(a, b); lb > d {
+			t.Fatalf("content bound %d exceeds ed(%q,%q)=%d", lb, a, b, d)
+		}
+	}
+}
+
+// TestMinGramEditExactBruteForce cross-checks the free-endpoint DP
+// against explicit substring enumeration.
+func TestMinGramEditExactBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	for trial := 0; trial < 300; trial++ {
+		kappa := 2 + rng.Intn(3)
+		text := randString(rng, 20, 4)
+		gram := randString(rng, kappa, 4)
+		if len(gram) < kappa {
+			continue
+		}
+		tau := rng.Intn(4)
+		p := rng.Intn(20)
+		got := minGramEditExact(gram, p, text, tau)
+		w0 := max(0, p-tau)
+		w1 := min(p+kappa-1+tau, len(text)-1)
+		want := kappa // deleting the gram
+		for u := w0; u <= w1; u++ {
+			for v := u; v <= w1; v++ {
+				if d := refEditDistance(gram, text[u:v+1]); d < want {
+					want = d
+				}
+			}
+		}
+		if w1 < w0 {
+			want = kappa
+		}
+		if got != want {
+			t.Fatalf("minGramEditExact(%q,%d,%q,%d) = %d, want %d", gram, p, text, tau, got, want)
+		}
+	}
+}
+
+// TestMinGramBoxLBAdmissible: the content-based box never exceeds the
+// exact box over the same aligned-segment candidates — the property
+// completeness rests on.
+func TestMinGramBoxLBAdmissible(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	for trial := 0; trial < 400; trial++ {
+		kappa := 2 + rng.Intn(3)
+		text := randString(rng, 20, 4)
+		gram := randString(rng, kappa, 4)
+		if len(gram) < kappa {
+			continue
+		}
+		tau := rng.Intn(4)
+		p := rng.Intn(16)
+		lb := minGramBoxLB(charMask(gram), kappa, p, text, tau)
+		// Reference: min ⌈H/2⌉ over substrings starting in [p−τ, p+τ]
+		// with length ≤ κ+τ, plus the delete-all option κ.
+		want := kappa
+		for u := max(0, p-tau); u <= min(p+tau, len(text)-1); u++ {
+			for ln := 1; ln <= kappa+tau && u+ln <= len(text); ln++ {
+				h := contentLowerBound(charMask(gram), charMask(text[u:u+ln]))
+				if h < want {
+					want = h
+				}
+			}
+		}
+		if lb != want {
+			t.Fatalf("minGramBoxLB(%q,%d,%q,%d) = %d, want %d", gram, p, text, tau, lb, want)
+		}
+		// Admissibility against true segment costs: for every substring
+		// in the window, lb ≤ ed(gram, substring).
+		for u := max(0, p-tau); u <= min(p+tau, len(text)-1); u++ {
+			for ln := 1; ln <= kappa+tau && u+ln <= len(text); ln++ {
+				if d := refEditDistance(gram, text[u:u+ln]); lb > d {
+					t.Fatalf("lb %d exceeds ed(%q,%q)=%d", lb, gram, text[u:u+ln], d)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package strdist_test
+
+import (
+	"fmt"
+
+	"repro/internal/strdist"
+)
+
+// Edit distance search over a small dictionary: index once per
+// threshold, search many times.
+func ExampleDB_Search() {
+	names := []string{"jellyfish", "smellyfish", "shellfish", "jellybean", "quarterback"}
+	dict, _ := strdist.BuildGramDict(names, 2)
+	db, _ := strdist.NewDB(names, dict, 2)
+	ids, _, _ := db.Search("jellyfish", strdist.RingOptions(3))
+	for _, id := range ids {
+		fmt.Println(db.String(id))
+	}
+	// Output:
+	// jellyfish
+	// smellyfish
+}
+
+// The banded verifier answers "is the distance within τ" in
+// O((2τ+1)·n) time.
+func ExampleEditDistanceWithin() {
+	fmt.Println(strdist.EditDistanceWithin("kitten", "sitting", 3))
+	fmt.Println(strdist.EditDistanceWithin("kitten", "sitting", 2))
+	// Output:
+	// 3
+	// -1
+}

@@ -1,0 +1,44 @@
+package strdist
+
+import "testing"
+
+// FuzzEditDistanceWithin cross-checks the banded verifier against the
+// full-matrix reference on arbitrary byte strings and thresholds.
+func FuzzEditDistanceWithin(f *testing.F) {
+	f.Add("kitten", "sitting", 3)
+	f.Add("", "abc", 1)
+	f.Add("llabcdefkk", "llabghijkk", 2)
+	f.Add("aaaa", "aaaa", 0)
+	f.Fuzz(func(t *testing.T, a, b string, tau int) {
+		if len(a) > 64 || len(b) > 64 || tau < -2 || tau > 80 {
+			t.Skip()
+		}
+		d := refEditDistance(a, b)
+		got := EditDistanceWithin(a, b, tau)
+		if tau < 0 || d > tau {
+			if got != -1 {
+				t.Fatalf("within(%q,%q,%d) = %d, want -1 (d=%d)", a, b, tau, got, d)
+			}
+			return
+		}
+		if got != d {
+			t.Fatalf("within(%q,%q,%d) = %d, want %d", a, b, tau, got, d)
+		}
+	})
+}
+
+// FuzzContentBoundAdmissible checks the §6.3 content filter inequality
+// ed ≥ ⌈H(mask)/2⌉ on arbitrary inputs.
+func FuzzContentBoundAdmissible(f *testing.F) {
+	f.Add("abc", "abd")
+	f.Add("", "zzzz")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		if len(a) > 48 || len(b) > 48 {
+			t.Skip()
+		}
+		lb := contentLowerBound(charMask(a), charMask(b))
+		if d := refEditDistance(a, b); lb > d {
+			t.Fatalf("content bound %d exceeds ed(%q,%q)=%d", lb, a, b, d)
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package strdist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Gram is a positional q-gram: the substring s[Pos : Pos+κ] with its
+// global-order id.
+type Gram struct {
+	ID  int32
+	Pos int32
+}
+
+// GramDict assigns global-order ids to κ-grams: ascending id means
+// ascending corpus frequency, so the front of a sorted gram list holds
+// the rarest grams — the convention of prefix filtering.
+type GramDict struct {
+	kappa int
+	ids   map[string]int32
+}
+
+// Kappa returns the gram length.
+func (d *GramDict) Kappa() int { return d.kappa }
+
+// Size returns the number of distinct grams.
+func (d *GramDict) Size() int { return len(d.ids) }
+
+// BuildGramDict counts the κ-grams of the corpus and ranks them by
+// ascending frequency (ties by gram text for determinism).
+func BuildGramDict(corpus []string, kappa int) (*GramDict, error) {
+	if kappa < 1 {
+		return nil, fmt.Errorf("strdist: gram length %d < 1", kappa)
+	}
+	counts := make(map[string]int)
+	for _, s := range corpus {
+		for i := 0; i+kappa <= len(s); i++ {
+			counts[s[i:i+kappa]]++
+		}
+	}
+	type gf struct {
+		g string
+		n int
+	}
+	all := make([]gf, 0, len(counts))
+	for g, n := range counts {
+		all = append(all, gf{g, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n < all[j].n
+		}
+		return all[i].g < all[j].g
+	})
+	d := &GramDict{kappa: kappa, ids: make(map[string]int32, len(all))}
+	for id, e := range all {
+		d.ids[e.g] = int32(id)
+	}
+	return d, nil
+}
+
+// BuildGramDictFromOrder builds a dictionary with an explicit global
+// order: grams[i] receives id i. It exists so tests can reproduce the
+// paper's lexicographic examples.
+func BuildGramDictFromOrder(grams []string, kappa int) (*GramDict, error) {
+	if kappa < 1 {
+		return nil, fmt.Errorf("strdist: gram length %d < 1", kappa)
+	}
+	d := &GramDict{kappa: kappa, ids: make(map[string]int32, len(grams))}
+	for i, g := range grams {
+		if len(g) != kappa {
+			return nil, fmt.Errorf("strdist: gram %q has length %d, want %d", g, len(g), kappa)
+		}
+		if _, dup := d.ids[g]; dup {
+			return nil, fmt.Errorf("strdist: duplicate gram %q", g)
+		}
+		d.ids[g] = int32(i)
+	}
+	return d, nil
+}
+
+// Extract returns the positional grams of s sorted by the global order
+// (rarest first; ties by position). Grams absent from the dictionary
+// receive fresh negative ids — they are rarer than everything indexed
+// and can never match an indexed gram, but they still participate in
+// ordering and prefix selection.
+func (d *GramDict) Extract(s string) []Gram {
+	n := len(s) - d.kappa + 1
+	if n <= 0 {
+		return nil
+	}
+	grams := make([]Gram, 0, n)
+	unknown := int32(-1)
+	unknownIDs := make(map[string]int32)
+	for i := 0; i < n; i++ {
+		g := s[i : i+d.kappa]
+		id, ok := d.ids[g]
+		if !ok {
+			id, ok = unknownIDs[g]
+			if !ok {
+				id = unknown
+				unknown--
+				unknownIDs[g] = id
+			}
+		}
+		grams = append(grams, Gram{ID: id, Pos: int32(i)})
+	}
+	sort.Slice(grams, func(i, j int) bool {
+		if grams[i].ID != grams[j].ID {
+			return grams[i].ID < grams[j].ID
+		}
+		return grams[i].Pos < grams[j].Pos
+	})
+	return grams
+}
+
+// Prefix returns the first κτ+1 grams of the sorted gram list (all of
+// them if fewer exist) — the q-gram prefix of §6.3.
+func Prefix(sorted []Gram, kappa, tau int) []Gram {
+	n := kappa*tau + 1
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	return sorted[:n]
+}
+
+// SelectPivotal chooses τ+1 position-disjoint grams from the prefix by
+// the earliest-endpoint greedy scan, returned in ascending position
+// order — the ring order of the §6.3 boxes. Because any gram overlaps
+// at most κ prefix grams to its right, a full κτ+1 prefix always yields
+// τ+1 disjoint grams; shorter prefixes may yield fewer, in which case
+// the caller must fall back to direct verification.
+func SelectPivotal(prefix []Gram, kappa, tau int) []Gram {
+	byPos := append([]Gram(nil), prefix...)
+	sort.Slice(byPos, func(i, j int) bool { return byPos[i].Pos < byPos[j].Pos })
+	pivotal := make([]Gram, 0, tau+1)
+	lastEnd := int32(-1)
+	for _, g := range byPos {
+		if g.Pos <= lastEnd {
+			continue
+		}
+		pivotal = append(pivotal, g)
+		lastEnd = g.Pos + int32(kappa) - 1
+		if len(pivotal) == tau+1 {
+			break
+		}
+	}
+	return pivotal
+}

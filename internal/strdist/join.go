@@ -1,0 +1,59 @@
+package strdist
+
+import "sort"
+
+// Pair is an unordered result pair of a self-join, with I < J.
+type Pair struct {
+	I, J int
+}
+
+// Join returns every pair of distinct indexed strings with
+// ed(x, y) ≤ τ, ordered by (I, J) — the string similarity join setting
+// of Ed-Join/PassJoin/Pivotal, answered with the Pivotal or Ring
+// filter depending on opt.
+func (db *DB) Join(opt Options) ([]Pair, Stats, error) {
+	var pairs []Pair
+	var agg Stats
+	for i := 0; i < db.Len(); i++ {
+		res, st, err := db.Search(db.strs[i], opt)
+		if err != nil {
+			return nil, agg, err
+		}
+		agg.Cand1 += st.Cand1
+		agg.Cand2 += st.Cand2
+		agg.Probes += st.Probes
+		agg.BoxChecks += st.BoxChecks
+		agg.Fallback += st.Fallback
+		for _, j := range res {
+			if j < i {
+				pairs = append(pairs, Pair{I: j, J: i})
+			}
+		}
+	}
+	agg.Results = len(pairs)
+	sortPairs(pairs)
+	return pairs, agg, nil
+}
+
+// JoinLinear is the quadratic reference join used by tests.
+func (db *DB) JoinLinear() []Pair {
+	var pairs []Pair
+	for i := 0; i < db.Len(); i++ {
+		for j := 0; j < i; j++ {
+			if EditDistanceWithin(db.strs[i], db.strs[j], db.tau) >= 0 {
+				pairs = append(pairs, Pair{I: j, J: i})
+			}
+		}
+	}
+	sortPairs(pairs)
+	return pairs
+}
+
+func sortPairs(pairs []Pair) {
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].I != pairs[b].I {
+			return pairs[a].I < pairs[b].I
+		}
+		return pairs[a].J < pairs[b].J
+	})
+}

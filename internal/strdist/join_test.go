@@ -1,0 +1,64 @@
+package strdist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestJoinExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	strs := corpus(rng, 200, 8, 20, 4)
+	dict, err := BuildGramDict(strs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tau := range []int{1, 2} {
+		db, err := NewDB(strs, dict, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := db.JoinLinear()
+		for _, opt := range []Options{PivotalOptions(), RingOptions(2), RingOptions(tau + 1)} {
+			got, st, err := db.Join(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("τ=%d opt=%+v: %d pairs, want %d", tau, opt, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("τ=%d: pair %d = %v, want %v", tau, i, got[i], want[i])
+				}
+			}
+			if st.Results != len(want) {
+				t.Errorf("stats results = %d, want %d", st.Results, len(want))
+			}
+		}
+	}
+}
+
+func TestJoinSelfPairsExcluded(t *testing.T) {
+	strs := []string{"abcdefgh", "abcdefgh", "abcdefgx", "zzzzzzzz"}
+	dict, err := BuildGramDict(strs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewDB(strs, dict, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, _, err := db.Join(RingOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Pair{{0, 1}, {0, 2}, {1, 2}}
+	if len(pairs) != len(want) {
+		t.Fatalf("pairs = %v, want %v", pairs, want)
+	}
+	for i := range want {
+		if pairs[i] != want[i] {
+			t.Fatalf("pairs = %v, want %v", pairs, want)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package strdist
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Options configure a search over an edit-distance DB.
+type Options struct {
+	// Ring enables the pigeonring filter; false reproduces the Pivotal
+	// baseline (pivotal prefix filter + alignment filter).
+	Ring bool
+	// ChainLength is the pigeonring chain length l (only used when Ring
+	// is true). The paper finds l = min(3, τ+1) best.
+	ChainLength int
+	// SkipVerify stops after filtering: Cand1/Cand2 are counted but no
+	// verification runs and no results are returned (the "Cand." series
+	// of the paper's time plots).
+	SkipVerify bool
+}
+
+// PivotalOptions returns the configuration of the Pivotal baseline.
+func PivotalOptions() Options { return Options{} }
+
+// RingOptions returns the pigeonring configuration with chain length l.
+func RingOptions(l int) Options { return Options{Ring: true, ChainLength: l} }
+
+// Stats reports the work a search performed.
+type Stats struct {
+	// Cand1 is the number of objects passing the pivotal prefix filter
+	// (the paper's "Cand-1").
+	Cand1 int
+	// Cand2 is the number of Cand-1 objects passing the second filter:
+	// the alignment filter for Pivotal, the chain filter for Ring. These
+	// are the objects that reach verification.
+	Cand2 int
+	// Results is the number of objects with ed(x, q) ≤ τ.
+	Results int
+	// Probes is the number of posting entries scanned.
+	Probes int
+	// BoxChecks counts box evaluations (lower-bound or exact).
+	BoxChecks int
+	// Fallback is the number of objects routed around the filters
+	// (short strings, degenerate queries) straight to verification.
+	Fallback int
+}
+
+// DB is an edit-distance search index built for a fixed threshold τ and
+// gram length κ, holding the Pivotal indexes the Ring filter also uses.
+type DB struct {
+	kappa, tau int
+	strs       []string
+	dict       *GramDict
+
+	// Per indexed string: orientation anchor, pivotal grams (position
+	// order) and their char masks.
+	lastPrefix []int32
+	pivotal    [][]Gram
+	pivMasks   [][]uint64
+
+	// pivIdx maps gram id -> occurrences as a pivotal gram.
+	pivIdx map[int32][]pivPosting
+	// preIdx maps gram id -> occurrences in a string's prefix.
+	preIdx map[int32][]prePosting
+	// short holds ids of strings too short to carry τ+1 pivotal grams;
+	// they bypass filtering.
+	short []int32
+}
+
+type pivPosting struct {
+	id  int32
+	box int16
+	pos int32
+}
+
+type prePosting struct {
+	id  int32
+	pos int32
+}
+
+// NewDB indexes strs for threshold tau with κ-grams ordered by dict.
+// Pass a dict built on the same corpus (BuildGramDict) or an explicit
+// order for reproducing paper examples.
+func NewDB(strs []string, dict *GramDict, tau int) (*DB, error) {
+	if tau < 0 {
+		return nil, fmt.Errorf("strdist: negative threshold %d", tau)
+	}
+	if dict == nil {
+		return nil, fmt.Errorf("strdist: nil gram dictionary")
+	}
+	kappa := dict.Kappa()
+	db := &DB{
+		kappa: kappa, tau: tau, strs: strs, dict: dict,
+		lastPrefix: make([]int32, len(strs)),
+		pivotal:    make([][]Gram, len(strs)),
+		pivMasks:   make([][]uint64, len(strs)),
+		pivIdx:     make(map[int32][]pivPosting),
+		preIdx:     make(map[int32][]prePosting),
+	}
+	fullPrefix := kappa*tau + 1
+	for id, s := range strs {
+		grams := dict.Extract(s)
+		prefix := Prefix(grams, kappa, tau)
+		pivotal := SelectPivotal(prefix, kappa, tau)
+		if len(prefix) < fullPrefix || len(pivotal) < tau+1 {
+			db.short = append(db.short, int32(id))
+			continue
+		}
+		db.lastPrefix[id] = prefix[len(prefix)-1].ID
+		db.pivotal[id] = pivotal
+		masks := make([]uint64, len(pivotal))
+		for b, g := range pivotal {
+			masks[b] = charMask(s[g.Pos : g.Pos+int32(kappa)])
+			db.pivIdx[g.ID] = append(db.pivIdx[g.ID], pivPosting{int32(id), int16(b), g.Pos})
+		}
+		db.pivMasks[id] = masks
+		for _, g := range prefix {
+			db.preIdx[g.ID] = append(db.preIdx[g.ID], prePosting{int32(id), g.Pos})
+		}
+	}
+	return db, nil
+}
+
+// Len returns the number of indexed strings.
+func (db *DB) Len() int { return len(db.strs) }
+
+// Tau returns the threshold the index was built for.
+func (db *DB) Tau() int { return db.tau }
+
+// String returns the indexed string with the given id.
+func (db *DB) String(id int) string { return db.strs[id] }
+
+// Search returns the ids of all strings with ed(x, q) ≤ τ, ascending.
+func (db *DB) Search(q string, opt Options) ([]int, Stats, error) {
+	var st Stats
+	tau, kappa := db.tau, db.kappa
+	m := tau + 1
+	l := opt.ChainLength
+	if l < 1 {
+		l = 1
+	}
+	if l > m {
+		l = m
+	}
+	filter := core.NewUniform(float64(tau), m, l, core.LE)
+
+	var results []int
+	verify := func(id int32) {
+		if opt.SkipVerify {
+			return
+		}
+		if EditDistanceWithin(db.strs[id], q, tau) >= 0 {
+			results = append(results, int(id))
+		}
+	}
+
+	// Short indexed strings bypass filtering (with the length filter).
+	for _, id := range db.short {
+		if diff(len(db.strs[id]), len(q)) <= tau {
+			st.Fallback++
+			verify(id)
+		}
+	}
+
+	qGrams := db.dict.Extract(q)
+	qPrefix := Prefix(qGrams, kappa, tau)
+	qPivotal := SelectPivotal(qPrefix, kappa, tau)
+	if len(qPrefix) < kappa*tau+1 || len(qPivotal) < tau+1 {
+		// Degenerate query: too short to carry the signature scheme.
+		// Scan all indexed strings with the length filter.
+		for id := range db.strs {
+			if db.pivotal[id] == nil {
+				continue // already handled via short
+			}
+			if diff(len(db.strs[id]), len(q)) <= tau {
+				st.Fallback++
+				verify(int32(id))
+			}
+		}
+		sort.Ints(results)
+		st.Results = len(results)
+		return results, st, nil
+	}
+	qLast := qPrefix[len(qPrefix)-1].ID
+	qPivMasks := make([]uint64, len(qPivotal))
+	for b, g := range qPivotal {
+		qPivMasks[b] = charMask(q[g.Pos : g.Pos+int32(kappa)])
+	}
+
+	// processed[id]: 0 unseen, 1 decided.
+	processed := make([]uint8, len(db.strs))
+	// The lazy, memoized box ring is shared across candidates: the
+	// captured pivotal/masks/text variables are repointed per object
+	// and the memo reset, avoiding per-candidate allocations.
+	var pivotal []Gram
+	var masks []uint64
+	var text string
+	boxes := core.NewMemoBoxes(core.BoxFunc{M: m, F: func(j int) float64 {
+		st.BoxChecks++
+		return float64(minGramBoxLB(masks[j], kappa, int(pivotal[j].Pos), text, tau))
+	}})
+	decide := func(id int32) {
+		if processed[id] == 1 {
+			return
+		}
+		processed[id] = 1
+		x := db.strs[id]
+		if diff(len(x), len(q)) > tau {
+			return
+		}
+		st.Cand1++
+		// Pick the box side by the §6.3 orientation rule.
+		var gramSrc string
+		if db.lastPrefix[id] <= qLast {
+			pivotal, masks, text, gramSrc = db.pivotal[id], db.pivMasks[id], q, x
+		} else {
+			pivotal, masks, text, gramSrc = qPivotal, qPivMasks, x, q
+		}
+		if opt.Ring {
+			boxes.Reset()
+			if !filter.HasPrefixViableChain(boxes) {
+				return
+			}
+		} else {
+			// Alignment filter: Σ exact per-gram minimum edit distances
+			// must stay within τ (the basic form at l = m).
+			sum := 0
+			for j := 0; j < m; j++ {
+				st.BoxChecks++
+				g := pivotal[j]
+				sum += minGramEditExact(gramSrc[g.Pos:g.Pos+int32(kappa)], int(g.Pos), text, tau)
+				if sum > tau {
+					return
+				}
+			}
+		}
+		st.Cand2++
+		verify(id)
+	}
+
+	// Case A: x's prefix ends first; probe the pivotal index with every
+	// query prefix gram.
+	for _, qg := range qPrefix {
+		postings := db.pivIdx[qg.ID]
+		st.Probes += len(postings)
+		for _, pe := range postings {
+			if db.lastPrefix[pe.id] > qLast {
+				continue
+			}
+			if diff(int(pe.pos), int(qg.Pos)) > tau {
+				continue
+			}
+			decide(pe.id)
+		}
+	}
+	// Case B: q's prefix ends first; probe the prefix index with the
+	// query's pivotal grams.
+	for _, qg := range qPivotal {
+		postings := db.preIdx[qg.ID]
+		st.Probes += len(postings)
+		for _, pe := range postings {
+			if db.lastPrefix[pe.id] <= qLast {
+				continue
+			}
+			if diff(int(pe.pos), int(qg.Pos)) > tau {
+				continue
+			}
+			decide(pe.id)
+		}
+	}
+
+	sort.Ints(results)
+	st.Results = len(results)
+	return results, st, nil
+}
+
+// SearchLinear scans the whole database with the banded verifier; it is
+// the ground truth for tests.
+func (db *DB) SearchLinear(q string) []int {
+	var out []int
+	for id, s := range db.strs {
+		if EditDistanceWithin(s, q, db.tau) >= 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func diff(a, b int) int {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -1,0 +1,335 @@
+package strdist
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// example11Dict builds the lexicographic global order of Example 11.
+func example11Dict(t *testing.T) *GramDict {
+	t.Helper()
+	grams := []string{"ab", "bc", "bg", "cd", "de", "ef", "fk", "gh", "hi", "ij", "jk", "kk", "la", "ll"}
+	sort.Strings(grams)
+	d, err := BuildGramDictFromOrder(grams, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestPaperExample11Prefixes checks gram extraction, prefixes and
+// pivotal selection against the paper's Example 11.
+func TestPaperExample11Prefixes(t *testing.T) {
+	d := example11Dict(t)
+	x := "llabcdefkk"
+	q := "llabghijkk"
+	const tau = 2
+
+	gx := d.Extract(x)
+	px := Prefix(gx, 2, tau)
+	wantPx := []string{"ab", "bc", "cd", "de", "ef"}
+	for i, g := range px {
+		if got := x[g.Pos : g.Pos+2]; got != wantPx[i] {
+			t.Errorf("Px[%d] = %q, want %q", i, got, wantPx[i])
+		}
+	}
+	piv := SelectPivotal(px, 2, tau)
+	if len(piv) != 3 {
+		t.Fatalf("pivotal count = %d, want 3", len(piv))
+	}
+	wantPiv := []struct {
+		g   string
+		pos int32
+	}{{"ab", 2}, {"cd", 4}, {"ef", 6}}
+	for i, w := range wantPiv {
+		if got := x[piv[i].Pos : piv[i].Pos+2]; got != w.g || piv[i].Pos != w.pos {
+			t.Errorf("pivotal[%d] = %q@%d, want %q@%d", i, got, piv[i].Pos, w.g, w.pos)
+		}
+	}
+	gq := d.Extract(q)
+	pq := Prefix(gq, 2, tau)
+	wantPq := []string{"ab", "bg", "gh", "hi", "ij"}
+	for i, g := range pq {
+		if got := q[g.Pos : g.Pos+2]; got != wantPq[i] {
+			t.Errorf("Pq[%d] = %q, want %q", i, got, wantPq[i])
+		}
+	}
+}
+
+// TestPaperExample11Filtering reproduces the outcome: x passes the
+// pivotal prefix filter (exact match ab) but both the alignment filter
+// and the l = 2 ring filter prune it; the ring bound b1 ≥ 2 matches the
+// paper's bit-vector computation.
+func TestPaperExample11Filtering(t *testing.T) {
+	d := example11Dict(t)
+	x := "llabcdefkk"
+	q := "llabghijkk"
+	const tau = 2
+
+	if got := EditDistance(x, q); got != 4 {
+		t.Fatalf("ed = %d, want 4", got)
+	}
+	// The paper's b1 bound: cd@4 against windows of q gives ≥ 4/2 = 2.
+	if lb := minGramBoxLB(charMask("cd"), 2, 4, q, tau); lb != 2 {
+		t.Errorf("b1 lower bound = %d, want 2", lb)
+	}
+
+	db, err := NewDB([]string{x}, d, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range []Options{PivotalOptions(), RingOptions(2)} {
+		res, st, err := db.Search(q, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 0 {
+			t.Errorf("opt %+v: x must not be a result", opt)
+		}
+		if st.Cand1 != 1 {
+			t.Errorf("opt %+v: Cand1 = %d, want 1 (pivotal prefix match)", opt, st.Cand1)
+		}
+		if st.Cand2 != 0 {
+			t.Errorf("opt %+v: Cand2 = %d, want 0 (filtered)", opt, st.Cand2)
+		}
+	}
+}
+
+// corpus generates strings with planted near-duplicates.
+func corpus(rng *rand.Rand, n, minLen, maxLen, alphabet int) []string {
+	out := make([]string, n)
+	for i := range out {
+		ln := minLen + rng.Intn(maxLen-minLen+1)
+		b := make([]byte, ln)
+		for j := range b {
+			b[j] = byte('a' + rng.Intn(alphabet))
+		}
+		out[i] = string(b)
+	}
+	if n < 2 {
+		return out
+	}
+	for i := n / 2; i < n; i += 3 {
+		src := []byte(out[rng.Intn(n/2)])
+		edits := rng.Intn(4)
+		for e := 0; e < edits && len(src) > 1; e++ {
+			switch pos := rng.Intn(len(src)); rng.Intn(3) {
+			case 0:
+				src[pos] = byte('a' + rng.Intn(alphabet))
+			case 1:
+				src = append(src[:pos], src[pos+1:]...)
+			default:
+				src = append(src[:pos], append([]byte{byte('a' + rng.Intn(alphabet))}, src[pos:]...)...)
+			}
+		}
+		out[i] = string(src)
+	}
+	return out
+}
+
+// TestExactness: Pivotal and Ring return exactly the linear-scan
+// results across thresholds, gram lengths and alphabets.
+func TestExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, cfg := range []struct {
+		kappa, tau, alphabet int
+	}{
+		{2, 1, 4}, {2, 2, 4}, {3, 2, 6}, {2, 3, 8}, {3, 1, 3},
+	} {
+		strs := corpus(rng, 400, 8, 24, cfg.alphabet)
+		dict, err := BuildGramDict(strs, cfg.kappa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := NewDB(strs, dict, cfg.tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 25; trial++ {
+			q := strs[rng.Intn(len(strs))]
+			if trial%3 == 0 {
+				q = corpus(rng, 1, 8, 24, cfg.alphabet)[0]
+			}
+			want := db.SearchLinear(q)
+			for _, opt := range []Options{PivotalOptions(), RingOptions(2), RingOptions(3), RingOptions(1)} {
+				got, _, err := db.Search(q, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !equalInts(got, want) {
+					t.Fatalf("κ=%d τ=%d opt=%+v q=%q: got %v want %v",
+						cfg.kappa, cfg.tau, opt, q, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestQuickExactness drives exactness through quick-generated seeds.
+func TestQuickExactness(t *testing.T) {
+	prop := func(seed int64, tauRaw, lRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tau := 1 + int(tauRaw)%3
+		strs := corpus(rng, 120, 8, 20, 4)
+		dict, err := BuildGramDict(strs, 2)
+		if err != nil {
+			return false
+		}
+		db, err := NewDB(strs, dict, tau)
+		if err != nil {
+			return false
+		}
+		q := strs[rng.Intn(len(strs))]
+		got, _, err := db.Search(q, RingOptions(1+int(lRaw)%(tau+1)))
+		if err != nil {
+			return false
+		}
+		return equalInts(got, db.SearchLinear(q))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShortStringsAndDegenerateQueries: strings and queries too short
+// for the signature scheme are still answered exactly.
+func TestShortStringsAndDegenerateQueries(t *testing.T) {
+	strs := []string{"a", "ab", "abc", "abcd", "abcdefghij", "qrstuvwxyz", "abcdefghik"}
+	dict, err := BuildGramDict(strs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewDB(strs, dict, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"", "a", "abc", "abcdefghij", "abcdefgh"} {
+		want := db.SearchLinear(q)
+		for _, opt := range []Options{PivotalOptions(), RingOptions(2)} {
+			got, _, err := db.Search(q, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalInts(got, want) {
+				t.Fatalf("q=%q opt=%+v: got %v want %v", q, opt, got, want)
+			}
+		}
+	}
+}
+
+// TestRingCandidatesWithinCand1: ring candidates (Cand2) never exceed
+// the pivotal prefix filter's Cand1, and chain length monotonically
+// tightens them.
+func TestRingCandidatesWithinCand1(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	strs := corpus(rng, 600, 10, 24, 5)
+	dict, err := BuildGramDict(strs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewDB(strs, dict, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 15; trial++ {
+		q := strs[rng.Intn(len(strs))]
+		prev := -1
+		for l := 1; l <= 4; l++ {
+			_, st, err := db.Search(q, RingOptions(l))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Cand2 > st.Cand1 {
+				t.Fatalf("Cand2 %d > Cand1 %d", st.Cand2, st.Cand1)
+			}
+			if prev >= 0 && st.Cand2 > prev {
+				t.Fatalf("candidates grew at l=%d: %d -> %d", l, prev, st.Cand2)
+			}
+			prev = st.Cand2
+		}
+	}
+}
+
+func TestNewDBValidation(t *testing.T) {
+	dict, _ := BuildGramDict([]string{"abc"}, 2)
+	if _, err := NewDB(nil, dict, -1); err == nil {
+		t.Error("negative τ should fail")
+	}
+	if _, err := NewDB(nil, nil, 1); err == nil {
+		t.Error("nil dict should fail")
+	}
+	if _, err := BuildGramDict(nil, 0); err == nil {
+		t.Error("κ=0 should fail")
+	}
+	if _, err := BuildGramDictFromOrder([]string{"ab", "ab"}, 2); err == nil {
+		t.Error("duplicate grams should fail")
+	}
+	if _, err := BuildGramDictFromOrder([]string{"abc"}, 2); err == nil {
+		t.Error("wrong gram length should fail")
+	}
+}
+
+func TestGramExtractOrder(t *testing.T) {
+	dict, err := BuildGramDict([]string{"aaab", "aaac", "aaad"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "aa" occurs 6 times, the others twice or once; "aa" must sort last.
+	g := dict.Extract("aaab")
+	last := g[len(g)-1]
+	if "aaab"[last.Pos:last.Pos+2] != "aa" {
+		t.Errorf("most frequent gram not last: %+v", g)
+	}
+	// Unknown grams sort first (rarest).
+	g2 := dict.Extract("zzzz")
+	if g2[0].ID >= 0 {
+		t.Errorf("unknown gram id = %d, want negative", g2[0].ID)
+	}
+	// Same unknown gram gets the same id within one extraction.
+	if g2[0].ID != g2[1].ID || g2[1].ID != g2[2].ID {
+		t.Errorf("repeated unknown gram ids differ: %+v", g2)
+	}
+}
+
+func TestSelectPivotalDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 200; trial++ {
+		kappa := 2 + rng.Intn(3)
+		tau := 1 + rng.Intn(4)
+		ln := kappa*(tau+1) + rng.Intn(20)
+		s := randString(rng, ln, 4)
+		if len(s) < kappa*(tau+1) {
+			continue
+		}
+		dict, err := BuildGramDict([]string{s}, kappa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grams := dict.Extract(s)
+		prefix := Prefix(grams, kappa, tau)
+		piv := SelectPivotal(prefix, kappa, tau)
+		if len(prefix) == kappa*tau+1 && len(piv) != tau+1 {
+			t.Fatalf("full prefix yielded %d pivotal grams, want %d (s=%q κ=%d τ=%d)",
+				len(piv), tau+1, s, kappa, tau)
+		}
+		for i := 1; i < len(piv); i++ {
+			if piv[i].Pos < piv[i-1].Pos+int32(kappa) {
+				t.Fatalf("pivotal grams overlap: %+v", piv)
+			}
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

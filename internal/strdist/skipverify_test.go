@@ -1,0 +1,39 @@
+package strdist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSkipVerify: identical filtering, no verification, no results.
+func TestSkipVerify(t *testing.T) {
+	rng := rand.New(rand.NewSource(124))
+	strs := corpus(rng, 250, 8, 20, 4)
+	dict, err := BuildGramDict(strs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewDB(strs, dict, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		q := strs[rng.Intn(len(strs))]
+		_, stFull, err := db.Search(q, RingOptions(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := RingOptions(3)
+		opt.SkipVerify = true
+		res, stSkip, err := db.Search(q, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 0 {
+			t.Fatal("SkipVerify produced results")
+		}
+		if stSkip.Cand1 != stFull.Cand1 || stSkip.Cand2 != stFull.Cand2 {
+			t.Fatalf("filter work differs: %+v vs %+v", stSkip, stFull)
+		}
+	}
+}

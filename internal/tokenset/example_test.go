@@ -1,0 +1,36 @@
+package tokenset_test
+
+import (
+	"fmt"
+
+	"repro/internal/tokenset"
+)
+
+// Raw token ids are relabeled by corpus frequency so that sorted sets
+// lead with their rarest tokens — the global order prefix filters need.
+func ExampleDictionary_Relabel() {
+	raw := [][]int32{
+		{7, 8, 9},
+		{8, 9},
+		{9},
+	}
+	dict := tokenset.BuildDictionary(raw)
+	sets := dict.RelabelAll(raw)
+	// Token 9 is the most frequent, so it receives the largest id and
+	// sorts last in every set.
+	fmt.Println(sets[0])
+	fmt.Println(tokenset.Overlap(sets[0], sets[1]))
+	fmt.Println(tokenset.Jaccard(sets[0], sets[1]))
+	// Output:
+	// [0 1 2]
+	// 2
+	// 0.6666666666666666
+}
+
+// RequiredOverlap converts a Jaccard threshold to the per-pair overlap
+// bound ⌈τ(|x|+|y|)/(1+τ)⌉.
+func ExampleRequiredOverlap() {
+	fmt.Println(tokenset.RequiredOverlap(10, 12, 0.8))
+	// Output:
+	// 10
+}

@@ -1,0 +1,20 @@
+package tokenset
+
+import "testing"
+
+// FuzzOverlapAtLeast cross-checks the early-terminating verifier
+// against the plain merge on arbitrary sets derived from fuzz bytes.
+func FuzzOverlapAtLeast(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{2, 3, 4}, 2)
+	f.Add([]byte{}, []byte{9}, 1)
+	f.Fuzz(func(t *testing.T, xr, yr []byte, th int) {
+		if len(xr) > 200 || len(yr) > 200 || th < -5 || th > 300 {
+			t.Skip()
+		}
+		x := setFromBytes(xr)
+		y := setFromBytes(yr)
+		if got, want := OverlapAtLeast(x, y, th), Overlap(x, y) >= th; got != want {
+			t.Fatalf("OverlapAtLeast(%v,%v,%d) = %v, want %v", x, y, th, got, want)
+		}
+	})
+}

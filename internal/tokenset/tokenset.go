@@ -1,0 +1,228 @@
+// Package tokenset provides the token-set substrate for set similarity
+// search (§6.2 of the pigeonring paper): token dictionaries with a
+// global frequency order, sorted-set intersection kernels with early
+// termination ("fast verification"), Jaccard/overlap conversions, and
+// size filtering bounds.
+//
+// Convention: a set is a strictly increasing []int32 of token ids, and
+// ids are assigned by the global order used throughout the prefix
+// filtering literature — ascending id means ascending document
+// frequency, so the front of a sorted set holds its rarest tokens.
+package tokenset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Set is a token set sorted ascending by the global token order.
+type Set []int32
+
+// Valid reports whether s is strictly increasing (a well-formed set).
+func (s Set) Valid() bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Overlap returns |x ∩ y| by merging the two sorted sets.
+func Overlap(x, y Set) int {
+	i, j, o := 0, 0, 0
+	for i < len(x) && j < len(y) {
+		switch {
+		case x[i] == y[j]:
+			o++
+			i++
+			j++
+		case x[i] < y[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return o
+}
+
+// OverlapAtLeast reports whether |x ∩ y| ≥ t, abandoning the merge as
+// soon as the remaining tokens cannot reach t. This is the "fast
+// verification" kernel the paper equips all set-similarity competitors
+// with (§8.1).
+func OverlapAtLeast(x, y Set, t int) bool {
+	if t <= 0 {
+		return true
+	}
+	i, j, o := 0, 0, 0
+	for i < len(x) && j < len(y) {
+		// Upper bound on the final overlap from here.
+		rest := len(x) - i
+		if r := len(y) - j; r < rest {
+			rest = r
+		}
+		if o+rest < t {
+			return false
+		}
+		switch {
+		case x[i] == y[j]:
+			o++
+			if o >= t {
+				return true
+			}
+			i++
+			j++
+		case x[i] < y[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return o >= t
+}
+
+// Jaccard returns |x∩y| / |x∪y|; the Jaccard of two empty sets is 1.
+func Jaccard(x, y Set) float64 {
+	if len(x) == 0 && len(y) == 0 {
+		return 1
+	}
+	o := Overlap(x, y)
+	return float64(o) / float64(len(x)+len(y)-o)
+}
+
+// eps guards the float→int conversions below against representation
+// error in thresholds like 0.7.
+const eps = 1e-9
+
+// RequiredOverlap returns the minimum |x∩y| for J(x,y) ≥ tau given the
+// two set sizes: ⌈τ·(|x|+|y|)/(1+τ)⌉ (§8.1).
+func RequiredOverlap(sx, sy int, tau float64) int {
+	return int(math.Ceil(tau*float64(sx+sy)/(1+tau) - eps))
+}
+
+// SizeBounds returns the [lo, hi] range of data-set sizes compatible
+// with J(x,q) ≥ tau for a query of size sq: [⌈τ·|q|⌉, ⌊|q|/τ⌋].
+func SizeBounds(sq int, tau float64) (lo, hi int) {
+	lo = int(math.Ceil(tau*float64(sq) - eps))
+	hi = int(math.Floor(float64(sq)/tau + eps))
+	if lo < 1 {
+		lo = 1
+	}
+	return lo, hi
+}
+
+// MinRequiredOverlap returns the smallest pair overlap threshold over
+// all compatible partner sizes for a set of size s: ⌈τ·s⌉. Prefixes
+// computed against this bound are valid for every compatible partner.
+func MinRequiredOverlap(s int, tau float64) int {
+	t := int(math.Ceil(tau*float64(s) - eps))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Dictionary relabels raw token ids by ascending frequency so that
+// sorted sets follow the global order.
+type Dictionary struct {
+	// old id -> new id
+	remap map[int32]int32
+	// new id -> frequency
+	freq []int
+}
+
+// BuildDictionary scans the raw sets, counts token frequencies, and
+// assigns new ids in ascending frequency order (ties broken by raw id
+// for determinism).
+func BuildDictionary(raw [][]int32) *Dictionary {
+	counts := make(map[int32]int)
+	for _, s := range raw {
+		for _, tok := range s {
+			counts[tok]++
+		}
+	}
+	type tf struct {
+		tok int32
+		n   int
+	}
+	all := make([]tf, 0, len(counts))
+	for tok, n := range counts {
+		all = append(all, tf{tok, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n < all[j].n
+		}
+		return all[i].tok < all[j].tok
+	})
+	d := &Dictionary{remap: make(map[int32]int32, len(all)), freq: make([]int, len(all))}
+	for newID, e := range all {
+		d.remap[e.tok] = int32(newID)
+		d.freq[newID] = e.n
+	}
+	return d
+}
+
+// Size returns the number of distinct tokens.
+func (d *Dictionary) Size() int { return len(d.freq) }
+
+// Freq returns the corpus frequency of the relabeled token id.
+func (d *Dictionary) Freq(id int32) int { return d.freq[id] }
+
+// Relabel maps a raw set to a sorted Set in the global order, dropping
+// duplicate tokens. Unknown tokens are assigned fresh ids beyond the
+// dictionary (rarer than everything seen), which keeps query relabeling
+// total.
+func (d *Dictionary) Relabel(raw []int32) Set {
+	out := make(Set, 0, len(raw))
+	for _, tok := range raw {
+		id, ok := d.remap[tok]
+		if !ok {
+			// Unseen tokens are the rarest of all; assign stable ids
+			// below every indexed token so they sort to the front.
+			id = d.assignUnknown(tok)
+		}
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	// Deduplicate.
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[w-1] {
+			out[w] = v
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// assignUnknown gives a deterministic negative id to a token never seen
+// during BuildDictionary. Negative ids sort before all dictionary ids,
+// matching their zero corpus frequency.
+func (d *Dictionary) assignUnknown(tok int32) int32 {
+	id := int32(-1) - tok%1_000_000
+	if id >= 0 { // negative raw ids
+		id = -1 - id
+	}
+	return id
+}
+
+// RelabelAll relabels every raw set.
+func (d *Dictionary) RelabelAll(raw [][]int32) []Set {
+	out := make([]Set, len(raw))
+	for i, s := range raw {
+		out[i] = d.Relabel(s)
+	}
+	return out
+}
+
+// Validate returns an error unless every set is strictly increasing.
+func Validate(sets []Set) error {
+	for i, s := range sets {
+		if !s.Valid() {
+			return fmt.Errorf("tokenset: set %d is not sorted/deduplicated", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,237 @@
+package tokenset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOverlapBasics(t *testing.T) {
+	cases := []struct {
+		x, y Set
+		want int
+	}{
+		{Set{}, Set{}, 0},
+		{Set{1, 2, 3}, Set{}, 0},
+		{Set{1, 2, 3}, Set{2, 3, 4}, 2},
+		{Set{1, 2, 3}, Set{4, 5, 6}, 0},
+		{Set{1, 2, 3}, Set{1, 2, 3}, 3},
+		{Set{1, 5, 9}, Set{2, 5, 10}, 1},
+	}
+	for _, c := range cases {
+		if got := Overlap(c.x, c.y); got != c.want {
+			t.Errorf("Overlap(%v,%v) = %d, want %d", c.x, c.y, got, c.want)
+		}
+		if got := Overlap(c.y, c.x); got != c.want {
+			t.Errorf("Overlap not symmetric on (%v,%v)", c.x, c.y)
+		}
+	}
+}
+
+// TestOverlapAtLeastAgreesWithOverlap is the property test for the fast
+// verification kernel.
+func TestOverlapAtLeastAgreesWithOverlap(t *testing.T) {
+	prop := func(xr, yr []uint8, tRaw uint8) bool {
+		x := setFromBytes(xr)
+		y := setFromBytes(yr)
+		th := int(tRaw % 20)
+		return OverlapAtLeast(x, y, th) == (Overlap(x, y) >= th)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func setFromBytes(raw []uint8) Set {
+	seen := map[int32]bool{}
+	var s Set
+	for _, b := range raw {
+		seen[int32(b%64)] = true
+	}
+	for v := int32(0); v < 64; v++ {
+		if seen[v] {
+			s = append(s, v)
+		}
+	}
+	return s
+}
+
+func TestJaccard(t *testing.T) {
+	if got := Jaccard(Set{}, Set{}); got != 1 {
+		t.Errorf("J(∅,∅) = %v", got)
+	}
+	if got := Jaccard(Set{1, 2}, Set{1, 2}); got != 1 {
+		t.Errorf("J equal sets = %v", got)
+	}
+	if got := Jaccard(Set{1, 2, 3}, Set{2, 3, 4}); got != 0.5 {
+		t.Errorf("J = %v, want 0.5", got)
+	}
+	if got := Jaccard(Set{1}, Set{2}); got != 0 {
+		t.Errorf("J disjoint = %v", got)
+	}
+}
+
+// TestRequiredOverlapCharacterizes: o ≥ RequiredOverlap ⟺ J ≥ τ, for
+// all feasible (sx, sy, o) triples.
+func TestRequiredOverlapCharacterizes(t *testing.T) {
+	for sx := 1; sx <= 25; sx++ {
+		for sy := 1; sy <= 25; sy++ {
+			for o := 0; o <= sx && o <= sy; o++ {
+				j := float64(o) / float64(sx+sy-o)
+				for _, tau := range []float64{0.5, 0.7, 0.75, 0.8, 0.9, 0.95} {
+					want := j >= tau-1e-12
+					got := o >= RequiredOverlap(sx, sy, tau)
+					if got != want {
+						t.Fatalf("sx=%d sy=%d o=%d τ=%v: got %v want %v (req=%d)",
+							sx, sy, o, tau, got, want, RequiredOverlap(sx, sy, tau))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSizeBoundsCharacterize: a size is within bounds iff some overlap
+// value could achieve J ≥ τ.
+func TestSizeBoundsCharacterize(t *testing.T) {
+	for sq := 1; sq <= 40; sq++ {
+		for _, tau := range []float64{0.5, 0.7, 0.8, 0.9} {
+			lo, hi := SizeBounds(sq, tau)
+			for sx := 1; sx <= 60; sx++ {
+				// Best possible J for sizes (sx, sq) is min/max.
+				minS, maxS := sx, sq
+				if minS > maxS {
+					minS, maxS = maxS, minS
+				}
+				bestJ := float64(minS) / float64(maxS)
+				feasible := bestJ >= tau-1e-12
+				inBounds := sx >= lo && sx <= hi
+				if feasible != inBounds {
+					t.Fatalf("sq=%d sx=%d τ=%v: feasible=%v inBounds=%v [%d,%d]",
+						sq, sx, tau, feasible, inBounds, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+func TestMinRequiredOverlap(t *testing.T) {
+	// For a set of size s, the loosest compatible partner is size ⌈τs⌉,
+	// giving required overlap ⌈τs⌉.
+	for s := 1; s <= 50; s++ {
+		for _, tau := range []float64{0.7, 0.8, 0.9} {
+			got := MinRequiredOverlap(s, tau)
+			lo, hi := SizeBounds(s, tau)
+			minReq := 1 << 30
+			for sy := lo; sy <= hi; sy++ {
+				if r := RequiredOverlap(s, sy, tau); r < minReq {
+					minReq = r
+				}
+			}
+			if got != minReq {
+				t.Errorf("s=%d τ=%v: MinRequiredOverlap=%d, sweep min=%d", s, tau, got, minReq)
+			}
+		}
+	}
+}
+
+func TestDictionaryOrder(t *testing.T) {
+	raw := [][]int32{
+		{10, 20, 30},
+		{20, 30},
+		{30},
+		{30, 40},
+	}
+	d := BuildDictionary(raw)
+	if d.Size() != 4 {
+		t.Fatalf("dictionary size = %d", d.Size())
+	}
+	// Frequencies: 10→1, 40→1, 20→2, 30→4. Ids ascend with frequency.
+	sets := d.RelabelAll(raw)
+	if err := Validate(sets); err != nil {
+		t.Fatal(err)
+	}
+	// Token 30 (most frequent) must have the largest id and therefore
+	// appear last in every set containing it.
+	for i, s := range sets {
+		if s[len(s)-1] != d.Relabel([]int32{30})[0] {
+			t.Errorf("set %d: most frequent token not last: %v", i, s)
+		}
+	}
+	// Frequencies are non-decreasing over ids.
+	for id := 1; id < d.Size(); id++ {
+		if d.Freq(int32(id)) < d.Freq(int32(id-1)) {
+			t.Errorf("frequency order violated at id %d", id)
+		}
+	}
+}
+
+func TestRelabelDeduplicates(t *testing.T) {
+	d := BuildDictionary([][]int32{{1, 2, 3}})
+	s := d.Relabel([]int32{3, 1, 3, 2, 1})
+	if len(s) != 3 || !s.Valid() {
+		t.Errorf("Relabel with duplicates = %v", s)
+	}
+}
+
+func TestRelabelUnknownTokens(t *testing.T) {
+	d := BuildDictionary([][]int32{{1, 2}})
+	s := d.Relabel([]int32{1, 999})
+	if len(s) != 2 || !s.Valid() {
+		t.Fatalf("Relabel with unknown = %v", s)
+	}
+	// The unknown token must sort before known ones (rarest).
+	if s[0] >= 0 {
+		t.Errorf("unknown token id %d not negative", s[0])
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate([]Set{{1, 2, 3}}); err != nil {
+		t.Error(err)
+	}
+	if err := Validate([]Set{{1, 1}}); err == nil {
+		t.Error("duplicate tokens not caught")
+	}
+	if err := Validate([]Set{{2, 1}}); err == nil {
+		t.Error("unsorted set not caught")
+	}
+}
+
+// TestOverlapRandomAgainstMap cross-checks the merge kernel against a
+// hash-set implementation.
+func TestOverlapRandomAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		x := randomSet(rng, 40, 100)
+		y := randomSet(rng, 40, 100)
+		inX := map[int32]bool{}
+		for _, v := range x {
+			inX[v] = true
+		}
+		want := 0
+		for _, v := range y {
+			if inX[v] {
+				want++
+			}
+		}
+		if got := Overlap(x, y); got != want {
+			t.Fatalf("Overlap = %d, want %d", got, want)
+		}
+	}
+}
+
+func randomSet(rng *rand.Rand, maxLen, universe int) Set {
+	n := rng.Intn(maxLen + 1)
+	seen := map[int32]bool{}
+	for i := 0; i < n; i++ {
+		seen[int32(rng.Intn(universe))] = true
+	}
+	s := make(Set, 0, len(seen))
+	for v := int32(0); v < int32(universe); v++ {
+		if seen[v] {
+			s = append(s, v)
+		}
+	}
+	return s
+}
