@@ -58,11 +58,24 @@ type tally struct {
 }
 
 func (t tally) report(baseName string, queries int) {
-	fmt.Printf("\n%-12s candidates: %d (%.1f/query)\n", baseName, t.base, float64(t.base)/float64(queries))
-	fmt.Printf("%-12s candidates: %d (%.1f/query)\n", "Ring", t.ring, float64(t.ring)/float64(queries))
+	// Guard the divisions: -queries 0 is a legal (if pointless) run,
+	// and sub-millisecond ring time rounds to zero; print n/a instead
+	// of NaN/+Inf.
+	perQuery := func(format string, v float64) string {
+		if queries <= 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf(format, v/float64(queries))
+	}
+	speedup := "n/a"
+	if t.ringMS > 0 {
+		speedup = fmt.Sprintf("%.2fx", t.baseMS/t.ringMS)
+	}
+	fmt.Printf("\n%-12s candidates: %d (%s/query)\n", baseName, t.base, perQuery("%.1f", float64(t.base)))
+	fmt.Printf("%-12s candidates: %d (%s/query)\n", "Ring", t.ring, perQuery("%.1f", float64(t.ring)))
 	fmt.Printf("results: %d\n", t.results)
-	fmt.Printf("avg time: %s %.3fms, Ring %.3fms (speedup %.2fx)\n",
-		baseName, t.baseMS/float64(queries), t.ringMS/float64(queries), t.baseMS/t.ringMS)
+	fmt.Printf("avg time: %s %s, Ring %s (speedup %s)\n",
+		baseName, perQuery("%.3fms", t.baseMS), perQuery("%.3fms", t.ringMS), speedup)
 }
 
 func timed(fn func()) float64 {

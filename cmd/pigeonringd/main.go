@@ -1,0 +1,79 @@
+// Command pigeonringd serves the four τ-selection similarity searches
+// over HTTP/JSON, backed by the sharded engine layer. Load a synthetic
+// dataset per problem, then issue single or batch searches with
+// tunable τ and chain length l while /v1/stats reports live serving
+// statistics.
+//
+// Usage:
+//
+//	pigeonringd [-addr :8080] [-workers 0]
+//
+// Quickstart:
+//
+//	pigeonringd &
+//	curl -s -X POST localhost:8080/v1/load \
+//	    -d '{"problem":"hamming","n":5000,"shards":4}'
+//	curl -s -X POST localhost:8080/v1/search \
+//	    -d '{"problem":"hamming","queryId":17,"l":6,"timings":true}'
+//	curl -s -X POST localhost:8080/v1/search/batch \
+//	    -d '{"problem":"hamming","queryIds":[1,2,3]}'
+//	curl -s localhost:8080/v1/stats
+//
+// The process shuts down gracefully on SIGINT/SIGTERM, draining
+// in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pigeonringd: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "per-query shard fan-out and batch parallelism (0 = GOMAXPROCS)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(*workers).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+	}
+	done := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		done <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-done:
+		// ListenAndServe only returns on failure to bind or serve.
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down, draining for up to %s", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Print("bye")
+}

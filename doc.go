@@ -10,6 +10,12 @@
 // dataset generates the synthetic stand-ins for the paper's eight
 // datasets; bench regenerates every evaluation figure.
 //
+// Above the four problem packages sits engine, the unified serving
+// layer: one Index interface with typed queries over every backend, a
+// sharded composite that fans queries out across a worker pool, and a
+// batch API parallelizing across queries. server exposes that layer
+// over HTTP/JSON; cmd/pigeonringd is the daemon serving it.
+//
 // See README.md for a tour, DESIGN.md for the system inventory and
 // substitutions, and EXPERIMENTS.md for paper-versus-measured results.
 // The benchmarks in bench_test.go regenerate each figure under

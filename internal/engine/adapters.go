@@ -1,0 +1,310 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/hamming"
+	"repro/internal/setsim"
+	"repro/internal/strdist"
+)
+
+// The four adapters wrap one backend DB each behind the Index
+// interface. Chain-length 0 resolves to the paper's per-problem
+// recommendation (§8), 1 to the pigeonhole baseline, ≥ 2 to the ring
+// filter; every adapter clamps l into [1, m] exactly as the backends
+// do.
+
+// chain resolves the requested chain length against a default.
+func chain(requested, def int) int {
+	if requested > 0 {
+		return requested
+	}
+	return def
+}
+
+// fixedTau rejects per-query threshold overrides on the three backends
+// whose indexes are built for one τ.
+func fixedTau(p Problem, requested *float64, built float64) error {
+	if requested != nil && *requested != built {
+		return fmt.Errorf("engine: %s index built for τ=%v, cannot search with τ=%v (rebuild the index)", p, built, *requested)
+	}
+	return nil
+}
+
+// toIDs widens backend result ids to the engine's global id type.
+func toIDs(ids []int) []int64 {
+	out := make([]int64, len(ids))
+	for i, id := range ids {
+		out[i] = int64(id)
+	}
+	return out
+}
+
+// timed runs the full search via fn with wall-clock measurement. When
+// timings are requested it first re-runs candidate generation alone
+// via filterOnly to observe the filter/verify split the backends
+// interleave.
+func timed(opt Options, filterOnly func() error, fn func() ([]int64, Stats, error)) ([]int64, Stats, error) {
+	wallStart := time.Now()
+	var filterNS int64
+	if opt.Timings && !opt.SkipVerify {
+		start := time.Now()
+		if err := filterOnly(); err != nil {
+			return nil, Stats{}, err
+		}
+		filterNS = time.Since(start).Nanoseconds()
+	}
+	fullStart := time.Now()
+	ids, st, err := fn()
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	full := time.Since(fullStart).Nanoseconds()
+	// Wall/total cover the whole call, measurement pre-pass included,
+	// so the reported times match what a caller actually waited.
+	wall := time.Since(wallStart).Nanoseconds()
+	st.TotalNS, st.WallNS = wall, wall
+	if opt.Timings {
+		// The filter share is measured in a separate pass, so clock
+		// noise can push it past the full pass; clamp to keep the
+		// reported split internally consistent.
+		if opt.SkipVerify || filterNS > full {
+			filterNS = full
+		}
+		st.FilterNS = filterNS
+		st.VerifyNS = full - filterNS
+	}
+	return ids, st, err
+}
+
+// --- Hamming -----------------------------------------------------------------
+
+type hammingIndex struct {
+	db  *hamming.DB
+	tau int
+}
+
+// NewHamming wraps a Hamming DB with a default threshold. Hamming is
+// the one backend whose index is threshold-independent, so searches
+// may override τ per query.
+func NewHamming(db *hamming.DB, defaultTau int) (Index, error) {
+	if db == nil {
+		return nil, fmt.Errorf("engine: nil hamming DB")
+	}
+	if defaultTau < 0 {
+		return nil, fmt.Errorf("engine: negative default threshold %d", defaultTau)
+	}
+	// Same bound the per-query override enforces: distances never
+	// exceed the dimension, and threshold allocation is O(τ·m).
+	if defaultTau > db.Dim() {
+		return nil, fmt.Errorf("engine: default threshold τ=%d exceeds the vector dimension %d", defaultTau, db.Dim())
+	}
+	return &hammingIndex{db: db, tau: defaultTau}, nil
+}
+
+func (ix *hammingIndex) Problem() Problem { return Hamming }
+func (ix *hammingIndex) Len() int         { return ix.db.Len() }
+func (ix *hammingIndex) Tau() float64     { return float64(ix.tau) }
+
+func (ix *hammingIndex) Search(q Query, opt Options) ([]int64, Stats, error) {
+	if err := checkKind(q, Hamming); err != nil {
+		return nil, Stats{}, err
+	}
+	tau := ix.tau
+	if opt.Tau != nil {
+		if *opt.Tau != math.Trunc(*opt.Tau) || *opt.Tau < 0 {
+			return nil, Stats{}, fmt.Errorf("engine: hamming threshold must be a non-negative integer, got τ=%v", *opt.Tau)
+		}
+		// Threshold allocation is O(τ·m), so an absurd τ would pin a
+		// worker; distances never exceed the dimension, so any τ above
+		// it is meaningless anyway.
+		if *opt.Tau > float64(ix.db.Dim()) {
+			return nil, Stats{}, fmt.Errorf("engine: hamming threshold τ=%v exceeds the vector dimension %d", *opt.Tau, ix.db.Dim())
+		}
+		tau = int(*opt.Tau)
+	}
+	// The paper finds l = 6 best for Hamming search (§8.2).
+	hopt := hamming.RingOptions(chain(opt.ChainLength, 6))
+	hopt.SkipVerify = opt.SkipVerify
+	filterOnly := func() error {
+		skip := hopt
+		skip.SkipVerify = true
+		_, _, err := ix.db.Search(q.vec, tau, skip)
+		return err
+	}
+	return timed(opt, filterOnly, func() ([]int64, Stats, error) {
+		ids, st, err := ix.db.Search(q.vec, tau, hopt)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		return toIDs(ids), Stats{
+			Candidates: st.Candidates,
+			Results:    st.Results,
+			Probes:     st.Probes,
+			BoxChecks:  st.BoxChecks,
+		}, nil
+	})
+}
+
+// --- Set similarity ----------------------------------------------------------
+
+type setIndex struct {
+	db *setsim.PKWiseDB
+}
+
+// NewSet wraps a pkwise/Ring set similarity DB. The threshold and
+// measure are fixed by the DB's Config.
+func NewSet(db *setsim.PKWiseDB) (Index, error) {
+	if db == nil {
+		return nil, fmt.Errorf("engine: nil setsim DB")
+	}
+	return &setIndex{db: db}, nil
+}
+
+func (ix *setIndex) Problem() Problem { return Set }
+func (ix *setIndex) Len() int         { return ix.db.Len() }
+func (ix *setIndex) Tau() float64     { return ix.db.Config().Tau }
+
+func (ix *setIndex) Search(q Query, opt Options) ([]int64, Stats, error) {
+	if err := checkKind(q, Set); err != nil {
+		return nil, Stats{}, err
+	}
+	if err := fixedTau(Set, opt.Tau, ix.Tau()); err != nil {
+		return nil, Stats{}, err
+	}
+	// The paper finds l = 2 best for set similarity search (§8.3).
+	l := chain(opt.ChainLength, 2)
+	conv := func(st setsim.Stats) Stats {
+		return Stats{
+			Candidates: st.Candidates,
+			Results:    st.Results,
+			Probes:     st.Probes,
+			BoxChecks:  st.BoxChecks,
+		}
+	}
+	filterOnly := func() error {
+		_, err := ix.db.CountCandidates(q.set, l)
+		return err
+	}
+	return timed(opt, filterOnly, func() ([]int64, Stats, error) {
+		if opt.SkipVerify {
+			st, err := ix.db.CountCandidates(q.set, l)
+			if err != nil {
+				return nil, Stats{}, err
+			}
+			return nil, conv(st), nil
+		}
+		ids, st, err := ix.db.Search(q.set, l)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		return toIDs(ids), conv(st), nil
+	})
+}
+
+// --- Edit distance -----------------------------------------------------------
+
+type stringIndex struct {
+	db *strdist.DB
+}
+
+// NewString wraps a Pivotal/Ring edit distance DB. The threshold is
+// fixed by the DB.
+func NewString(db *strdist.DB) (Index, error) {
+	if db == nil {
+		return nil, fmt.Errorf("engine: nil strdist DB")
+	}
+	return &stringIndex{db: db}, nil
+}
+
+func (ix *stringIndex) Problem() Problem { return String }
+func (ix *stringIndex) Len() int         { return ix.db.Len() }
+func (ix *stringIndex) Tau() float64     { return float64(ix.db.Tau()) }
+
+func (ix *stringIndex) Search(q Query, opt Options) ([]int64, Stats, error) {
+	if err := checkKind(q, String); err != nil {
+		return nil, Stats{}, err
+	}
+	if err := fixedTau(String, opt.Tau, ix.Tau()); err != nil {
+		return nil, Stats{}, err
+	}
+	// The paper finds l = min(3, τ+1) best for edit distance (§8.4).
+	l := chain(opt.ChainLength, min(3, ix.db.Tau()+1))
+	sopt := strdist.RingOptions(l)
+	if l == 1 {
+		sopt = strdist.PivotalOptions()
+	}
+	sopt.SkipVerify = opt.SkipVerify
+	filterOnly := func() error {
+		skip := sopt
+		skip.SkipVerify = true
+		_, _, err := ix.db.Search(q.str, skip)
+		return err
+	}
+	return timed(opt, filterOnly, func() ([]int64, Stats, error) {
+		ids, st, err := ix.db.Search(q.str, sopt)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		return toIDs(ids), Stats{
+			Candidates: st.Cand2 + st.Fallback,
+			Results:    st.Results,
+			Probes:     st.Probes,
+			BoxChecks:  st.BoxChecks,
+		}, nil
+	})
+}
+
+// --- Graph edit distance -----------------------------------------------------
+
+type graphIndex struct {
+	db *graph.DB
+}
+
+// NewGraph wraps a Pars/Ring GED DB. The threshold is fixed by the DB.
+func NewGraph(db *graph.DB) (Index, error) {
+	if db == nil {
+		return nil, fmt.Errorf("engine: nil graph DB")
+	}
+	return &graphIndex{db: db}, nil
+}
+
+func (ix *graphIndex) Problem() Problem { return Graph }
+func (ix *graphIndex) Len() int         { return ix.db.Len() }
+func (ix *graphIndex) Tau() float64     { return float64(ix.db.Tau()) }
+
+func (ix *graphIndex) Search(q Query, opt Options) ([]int64, Stats, error) {
+	if err := checkKind(q, Graph); err != nil {
+		return nil, Stats{}, err
+	}
+	if err := fixedTau(Graph, opt.Tau, ix.Tau()); err != nil {
+		return nil, Stats{}, err
+	}
+	// The paper finds l in [τ−2, τ] best for GED (§8.5).
+	l := chain(opt.ChainLength, max(1, ix.db.Tau()-1))
+	gopt := graph.RingOptions(l)
+	if l == 1 {
+		gopt = graph.ParsOptions()
+	}
+	gopt.SkipVerify = opt.SkipVerify
+	filterOnly := func() error {
+		skip := gopt
+		skip.SkipVerify = true
+		_, _, err := ix.db.Search(q.g, skip)
+		return err
+	}
+	return timed(opt, filterOnly, func() ([]int64, Stats, error) {
+		ids, st, err := ix.db.Search(q.g, gopt)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		return toIDs(ids), Stats{
+			Candidates: st.Candidates,
+			Results:    st.Results,
+			BoxChecks:  st.BoxChecks,
+		}, nil
+	})
+}

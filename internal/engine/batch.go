@@ -1,0 +1,27 @@
+package engine
+
+import "repro/internal/parallel"
+
+// BatchResult holds the outcome of one query of a batch.
+type BatchResult struct {
+	IDs   []int64
+	Stats Stats
+	Err   error
+}
+
+// SearchBatch answers many queries concurrently against any Index,
+// parallelizing across queries on a worker pool; a sharded index
+// additionally fans each query across its shards, so total parallelism
+// is the product of the two pools. Indexes are immutable and searches
+// keep scratch per call, so workers share idx safely. workers ≤ 0
+// selects GOMAXPROCS. Results are positionally aligned with queries;
+// per-query failures land in BatchResult.Err without aborting the
+// batch.
+func SearchBatch(idx Index, queries []Query, opt Options, workers int) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	parallel.ForEach(len(queries), workers, func(i int) {
+		ids, st, err := idx.Search(queries[i], opt)
+		out[i] = BatchResult{IDs: ids, Stats: st, Err: err}
+	})
+	return out
+}

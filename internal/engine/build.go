@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/graph"
+	"repro/internal/hamming"
+	"repro/internal/parallel"
+	"repro/internal/setsim"
+	"repro/internal/strdist"
+	"repro/internal/tokenset"
+)
+
+// The Build* constructors produce a ready-to-serve Index from raw
+// data: one plain adapter for shards ≤ 1, otherwise a Sharded over
+// contiguous slices, with the per-shard indexes built in parallel.
+// Global ids always equal positions in the input slice, sharded or
+// not.
+
+// chunks splits n items into the given number of nearly equal
+// contiguous ranges, clamping the shard count into [1, n].
+func chunks(n, shards int) [][2]int {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	out := make([][2]int, shards)
+	base, rem := n/shards, n%shards
+	pos := 0
+	for i := range out {
+		w := base
+		if i < rem {
+			w++
+		}
+		out[i] = [2]int{pos, pos + w}
+		pos += w
+	}
+	return out
+}
+
+// buildSharded builds one shard index per chunk in parallel and
+// composes them. workers bounds both the build and the per-query
+// fan-out.
+func buildSharded(n, shards, workers int, build func(lo, hi int) (Index, error)) (Index, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("engine: empty database")
+	}
+	ranges := chunks(n, shards)
+	if len(ranges) == 1 {
+		return build(0, n)
+	}
+	built := make([]Index, len(ranges))
+	err := parallel.ForEachErr(len(ranges), workers, func(i int) error {
+		ix, err := build(ranges[i][0], ranges[i][1])
+		if err != nil {
+			return fmt.Errorf("engine: building shard %d: %w", i, err)
+		}
+		built[i] = ix
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return NewSharded(built, workers)
+}
+
+// BuildHamming indexes binary vectors for GPH/Ring search under an
+// m-part partitioning, split across the given number of shards.
+// defaultTau is the threshold used when a search does not override τ.
+func BuildHamming(vecs []bitvec.Vector, m, defaultTau, shards, workers int) (Index, error) {
+	return buildSharded(len(vecs), shards, workers, func(lo, hi int) (Index, error) {
+		db, err := hamming.NewDB(vecs[lo:hi], m)
+		if err != nil {
+			return nil, err
+		}
+		return NewHamming(db, defaultTau)
+	})
+}
+
+// BuildSet indexes token sets for pkwise/Ring search under cfg, split
+// across the given number of shards.
+func BuildSet(sets []tokenset.Set, cfg setsim.Config, shards, workers int) (Index, error) {
+	return buildSharded(len(sets), shards, workers, func(lo, hi int) (Index, error) {
+		db, err := setsim.NewPKWiseDB(sets[lo:hi], cfg)
+		if err != nil {
+			return nil, err
+		}
+		return NewSet(db)
+	})
+}
+
+// BuildString indexes strings for Pivotal/Ring edit distance search at
+// threshold tau with κ-grams, split across the given number of shards.
+// One gram dictionary is built over the full corpus and shared by all
+// shards, so per-shard gram orders (and therefore filtering behaviour)
+// match the unsharded index.
+func BuildString(strs []string, kappa, tau, shards, workers int) (Index, error) {
+	if len(strs) == 0 {
+		return nil, fmt.Errorf("engine: empty database")
+	}
+	dict, err := strdist.BuildGramDict(strs, kappa)
+	if err != nil {
+		return nil, err
+	}
+	return buildSharded(len(strs), shards, workers, func(lo, hi int) (Index, error) {
+		db, err := strdist.NewDB(strs[lo:hi], dict, tau)
+		if err != nil {
+			return nil, err
+		}
+		return NewString(db)
+	})
+}
+
+// BuildGraph indexes graphs for Pars/Ring GED search at threshold tau,
+// split across the given number of shards.
+func BuildGraph(graphs []*graph.Graph, tau, shards, workers int) (Index, error) {
+	return buildSharded(len(graphs), shards, workers, func(lo, hi int) (Index, error) {
+		db, err := graph.NewDB(graphs[lo:hi], tau)
+		if err != nil {
+			return nil, err
+		}
+		return NewGraph(db)
+	})
+}

@@ -1,0 +1,156 @@
+// Package engine is the unified serving layer over the four τ-selection
+// search systems of the pigeonring reproduction. Each problem package
+// (hamming, setsim, strdist, graph) exposes its own NewDB/Search pair
+// with problem-specific types; engine wraps them behind one Index
+// interface with a typed Query encoding, so callers — the pigeonringd
+// query server above all — can load, shard and query any backend
+// uniformly.
+//
+// The layer adds what the single-problem packages deliberately leave
+// out:
+//
+//   - Sharded: a composite Index that partitions the database into N
+//     contiguous shards, fans every query out across a worker pool
+//     (parallel.ForEachErr), and merges per-shard Stats into an
+//     aggregate. Because every shard holds a contiguous id range and
+//     every backend returns exact, ascending results, concatenating the
+//     shard outputs reproduces the unsharded result id-for-id.
+//   - SearchBatch: cross-query parallelism over any Index.
+//   - Stats: a common work/timing report with per-shard breakdown and
+//     optional filter/verify time split.
+//
+// All indexes are immutable after construction and every Search keeps
+// its scratch per call, so a single Index may serve any number of
+// goroutines concurrently without locking.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/graph"
+	"repro/internal/tokenset"
+)
+
+// Problem identifies one of the four τ-selection search problems.
+type Problem string
+
+const (
+	// Hamming is thresholded Hamming distance search over binary
+	// vectors (GPH baseline, Ring upgrade).
+	Hamming Problem = "hamming"
+	// Set is thresholded set similarity search (pkwise baseline, Ring
+	// upgrade).
+	Set Problem = "set"
+	// String is thresholded edit distance search (Pivotal baseline,
+	// Ring upgrade).
+	String Problem = "string"
+	// Graph is thresholded graph edit distance search (Pars baseline,
+	// Ring upgrade).
+	Graph Problem = "graph"
+)
+
+// ParseProblem maps a user-supplied name to a Problem.
+func ParseProblem(s string) (Problem, error) {
+	switch Problem(s) {
+	case Hamming, Set, String, Graph:
+		return Problem(s), nil
+	}
+	return "", fmt.Errorf("engine: unknown problem %q (want hamming, set, string or graph)", s)
+}
+
+// Query is the typed query encoding shared by every backend: exactly
+// one payload is set, and its kind must match the index's Problem.
+// Construct queries with VectorQuery, SetQuery, StringQuery or
+// GraphQuery.
+type Query struct {
+	kind Problem
+	vec  bitvec.Vector
+	set  tokenset.Set
+	str  string
+	g    *graph.Graph
+}
+
+// VectorQuery wraps a binary vector for a Hamming index.
+func VectorQuery(v bitvec.Vector) Query { return Query{kind: Hamming, vec: v} }
+
+// SetQuery wraps a token set for a Set index.
+func SetQuery(s tokenset.Set) Query { return Query{kind: Set, set: s} }
+
+// StringQuery wraps a string for a String index.
+func StringQuery(s string) Query { return Query{kind: String, str: s} }
+
+// GraphQuery wraps a graph for a Graph index.
+func GraphQuery(g *graph.Graph) Query { return Query{kind: Graph, g: g} }
+
+// Kind returns the problem the query addresses.
+func (q Query) Kind() Problem { return q.kind }
+
+// Vector returns the Hamming payload.
+func (q Query) Vector() bitvec.Vector { return q.vec }
+
+// Set returns the set similarity payload.
+func (q Query) Set() tokenset.Set { return q.set }
+
+// Text returns the edit distance payload. (It is not named String so
+// Query does not accidentally implement fmt.Stringer and print a lone
+// payload field.)
+func (q Query) Text() string { return q.str }
+
+// Graph returns the graph edit distance payload.
+func (q Query) Graph() *graph.Graph { return q.g }
+
+// Options tune a single engine search. The zero value asks for the
+// index defaults: its build-time τ and the paper's recommended chain
+// length.
+type Options struct {
+	// Tau overrides the threshold when non-nil (nil keeps the index
+	// default; a pointer distinguishes an explicit τ=0 — exact-match
+	// search — from "unset"). Only Hamming indexes support per-query
+	// thresholds; the other three are built for a fixed τ and reject
+	// any other value.
+	Tau *float64
+	// ChainLength is the pigeonring chain length l. 0 selects the
+	// paper's per-problem recommendation; 1 runs the pigeonhole
+	// baseline (GPH, pkwise, Pivotal, Pars); l ≥ 2 enables the ring
+	// filter.
+	ChainLength int
+	// SkipVerify stops after candidate generation; Stats are filled
+	// but no results are returned.
+	SkipVerify bool
+	// Timings additionally measures the filter/verify time split by
+	// running candidate generation once more with verification off
+	// (the backends interleave filtering and verification, so the
+	// split cannot be observed in a single pass). It roughly doubles
+	// the filtering cost of the query; leave it off on hot paths.
+	Timings bool
+}
+
+// Index is the uniform search interface every adapter and the sharded
+// composite implement. Implementations are immutable and safe for
+// concurrent use.
+type Index interface {
+	// Problem returns the query kind the index answers.
+	Problem() Problem
+	// Len returns the number of indexed objects.
+	Len() int
+	// Tau returns the index's default threshold.
+	Tau() float64
+	// Search returns the ids of all objects within the threshold of q,
+	// in ascending order, along with search statistics.
+	Search(q Query, opt Options) ([]int64, Stats, error)
+}
+
+// Tau wraps a threshold value for Options.Tau.
+func Tau(v float64) *float64 { return &v }
+
+// checkKind validates that a query addresses the given problem.
+func checkKind(q Query, p Problem) error {
+	if q.kind == "" {
+		return fmt.Errorf("engine: empty query (use VectorQuery/SetQuery/StringQuery/GraphQuery)")
+	}
+	if q.kind != p {
+		return fmt.Errorf("engine: %s query sent to %s index", q.kind, p)
+	}
+	return nil
+}

@@ -1,0 +1,396 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/hamming"
+	"repro/internal/setsim"
+	"repro/internal/strdist"
+)
+
+// testIndexes builds one unsharded and one sharded index per problem
+// over the same synthetic data, plus the sample queries to run.
+type testCase struct {
+	name      string
+	unsharded Index
+	sharded   Index
+	queries   []Query
+}
+
+func buildCases(t *testing.T, shards int) []testCase {
+	t.Helper()
+	var cases []testCase
+
+	vecs := dataset.GIST(600, 1)
+	queries := dataset.SampleQueries(len(vecs), 6, 1)
+	h1, err := BuildHamming(vecs, 16, 24, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hN, err := BuildHamming(vecs, 16, 24, shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hq []Query
+	for _, qi := range queries {
+		hq = append(hq, VectorQuery(vecs[qi]))
+	}
+	cases = append(cases, testCase{"hamming", h1, hN, hq})
+
+	sets := dataset.DBLP(800, 2)
+	cfg := setsim.Config{Measure: setsim.Jaccard, Tau: 0.8, M: 5}
+	s1, err := BuildSet(sets, cfg, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sN, err := BuildSet(sets, cfg, shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sq []Query
+	for _, qi := range dataset.SampleQueries(len(sets), 6, 2) {
+		sq = append(sq, SetQuery(sets[qi]))
+	}
+	cases = append(cases, testCase{"set", s1, sN, sq})
+
+	strs := dataset.IMDB(800, 3)
+	t1, err := BuildString(strs, 2, 2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tN, err := BuildString(strs, 2, 2, shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tq []Query
+	for _, qi := range dataset.SampleQueries(len(strs), 6, 3) {
+		tq = append(tq, StringQuery(strs[qi]))
+	}
+	cases = append(cases, testCase{"string", t1, tN, tq})
+
+	graphs := dataset.AIDS(90, 4)
+	g1, err := BuildGraph(graphs, 3, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gN, err := BuildGraph(graphs, 3, shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gq []Query
+	for _, qi := range dataset.SampleQueries(len(graphs), 4, 4) {
+		gq = append(gq, GraphQuery(graphs[qi]))
+	}
+	cases = append(cases, testCase{"graph", g1, gN, gq})
+
+	return cases
+}
+
+func sameIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShardedMatchesUnsharded is the acceptance-criterion test: for
+// every problem, every query against the sharded index returns the
+// exact id sequence the unsharded index returns.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	for _, tc := range buildCases(t, 4) {
+		t.Run(tc.name, func(t *testing.T) {
+			sh, ok := tc.sharded.(*Sharded)
+			if !ok {
+				t.Fatalf("expected a *Sharded, got %T", tc.sharded)
+			}
+			if sh.Shards() != 4 {
+				t.Fatalf("shards = %d, want 4", sh.Shards())
+			}
+			if sh.Len() != tc.unsharded.Len() {
+				t.Fatalf("sharded Len = %d, unsharded %d", sh.Len(), tc.unsharded.Len())
+			}
+			for _, opt := range []Options{{}, {ChainLength: 1}} {
+				for qi, q := range tc.queries {
+					want, wantStats, err := tc.unsharded.Search(q, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, gotStats, err := tc.sharded.Search(q, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !sameIDs(got, want) {
+						t.Fatalf("query %d l=%d: sharded ids %v != unsharded %v", qi, opt.ChainLength, got, want)
+					}
+					if gotStats.Results != wantStats.Results {
+						t.Fatalf("query %d: sharded results %d != unsharded %d", qi, gotStats.Results, wantStats.Results)
+					}
+					if len(gotStats.PerShard) != 4 {
+						t.Fatalf("query %d: per-shard stats %d entries, want 4", qi, len(gotStats.PerShard))
+					}
+					sum := 0
+					for _, st := range gotStats.PerShard {
+						sum += st.Candidates
+					}
+					if sum != gotStats.Candidates {
+						t.Fatalf("query %d: aggregate candidates %d != per-shard sum %d", qi, gotStats.Candidates, sum)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAdapterMatchesBackend pins the adapters to the raw backend
+// searches they wrap, defaults included.
+func TestAdapterMatchesBackend(t *testing.T) {
+	vecs := dataset.GIST(400, 7)
+	hdb, err := hamming.NewDB(vecs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hix, err := NewHamming(hdb, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := vecs[11]
+	want, wantStats, err := hdb.Search(q, 24, hamming.RingOptions(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotStats, err := hix.Search(VectorQuery(q), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || gotStats.Candidates != wantStats.Candidates {
+		t.Fatalf("hamming adapter diverged: %d ids / %d candidates, want %d / %d",
+			len(got), gotStats.Candidates, len(want), wantStats.Candidates)
+	}
+
+	sets := dataset.DBLP(400, 8)
+	cfg := setsim.Config{Measure: setsim.Jaccard, Tau: 0.8, M: 5}
+	sdb, err := setsim.NewPKWiseDB(sets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	six, err := NewSet(sdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantS, _, err := sdb.Search(sets[3], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotS, _, err := six.Search(SetQuery(sets[3]), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotS) != len(wantS) {
+		t.Fatalf("set adapter returned %d ids, want %d", len(gotS), len(wantS))
+	}
+
+	strs := dataset.IMDB(400, 9)
+	dict, err := strdist.BuildGramDict(strs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tdb, err := strdist.NewDB(strs, dict, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tix, err := NewString(tdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantT, _, err := tdb.Search(strs[5], strdist.RingOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotT, _, err := tix.Search(StringQuery(strs[5]), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotT) != len(wantT) {
+		t.Fatalf("string adapter returned %d ids, want %d", len(gotT), len(wantT))
+	}
+
+	graphs := dataset.AIDS(60, 10)
+	gdb, err := graph.NewDB(graphs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gix, err := NewGraph(gdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantG, _, err := gdb.Search(graphs[2], graph.RingOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotG, _, err := gix.Search(GraphQuery(graphs[2]), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotG) != len(wantG) {
+		t.Fatalf("graph adapter returned %d ids, want %d", len(gotG), len(wantG))
+	}
+}
+
+func TestQueryKindMismatch(t *testing.T) {
+	vecs := dataset.GIST(50, 11)
+	ix, err := BuildHamming(vecs, 16, 24, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.Search(StringQuery("nope"), Options{}); err == nil {
+		t.Fatal("string query against hamming index did not error")
+	}
+	if _, _, err := ix.Search(Query{}, Options{}); err == nil {
+		t.Fatal("empty query did not error")
+	}
+}
+
+func TestTauOverride(t *testing.T) {
+	vecs := dataset.GIST(300, 12)
+	ix, err := BuildHamming(vecs, 16, 24, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdb, err := hamming.NewDB(vecs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := vecs[7]
+	want, _, err := hdb.Search(q, 40, hamming.RingOptions(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ix.Search(VectorQuery(q), Options{Tau: Tau(40)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDs(got, toIDs(want)) {
+		t.Fatalf("τ override ids %v, want %v", got, want)
+	}
+
+	if _, _, err := ix.Search(VectorQuery(q), Options{Tau: Tau(23.9)}); err == nil {
+		t.Fatal("fractional hamming τ accepted")
+	}
+	if _, _, err := ix.Search(VectorQuery(q), Options{Tau: Tau(-1)}); err == nil {
+		t.Fatal("negative hamming τ accepted")
+	}
+	if _, _, err := ix.Search(VectorQuery(q), Options{Tau: Tau(1e12)}); err == nil {
+		t.Fatal("τ beyond the vector dimension accepted")
+	}
+	// An explicit τ=0 is an exact-match search, distinct from "unset".
+	wantExact, _, err := hdb.Search(q, 0, hamming.RingOptions(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotExact, _, err := ix.Search(VectorQuery(q), Options{Tau: Tau(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDs(gotExact, toIDs(wantExact)) {
+		t.Fatalf("τ=0 ids %v, want %v", gotExact, wantExact)
+	}
+
+	sets := dataset.DBLP(200, 13)
+	cfg := setsim.Config{Measure: setsim.Jaccard, Tau: 0.8, M: 5}
+	six, err := BuildSet(sets, cfg, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = six.Search(SetQuery(sets[0]), Options{Tau: Tau(0.5)})
+	if err == nil || !strings.Contains(err.Error(), "built for") {
+		t.Fatalf("set τ override err = %v, want built-for error", err)
+	}
+	if _, _, err := six.Search(SetQuery(sets[0]), Options{Tau: Tau(0.8)}); err != nil {
+		t.Fatalf("matching τ rejected: %v", err)
+	}
+}
+
+func TestSearchBatchAlignsWithSingle(t *testing.T) {
+	for _, tc := range buildCases(t, 3) {
+		t.Run(tc.name, func(t *testing.T) {
+			batch := SearchBatch(tc.sharded, tc.queries, Options{}, 4)
+			if len(batch) != len(tc.queries) {
+				t.Fatalf("batch returned %d results for %d queries", len(batch), len(tc.queries))
+			}
+			for i, r := range batch {
+				if r.Err != nil {
+					t.Fatal(r.Err)
+				}
+				want, _, err := tc.unsharded.Search(tc.queries[i], Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameIDs(r.IDs, want) {
+					t.Fatalf("batch result %d ids %v, want %v", i, r.IDs, want)
+				}
+			}
+		})
+	}
+}
+
+func TestTimings(t *testing.T) {
+	vecs := dataset.GIST(400, 14)
+	ix, err := BuildHamming(vecs, 16, 24, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := ix.Search(VectorQuery(vecs[3]), Options{Timings: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalNS <= 0 || st.WallNS <= 0 {
+		t.Fatalf("timings not recorded: total=%d wall=%d", st.TotalNS, st.WallNS)
+	}
+	if st.FilterNS < 0 || st.VerifyNS < 0 || st.FilterNS+st.VerifyNS > st.TotalNS {
+		t.Fatalf("inconsistent split: filter=%d verify=%d total=%d", st.FilterNS, st.VerifyNS, st.TotalNS)
+	}
+}
+
+func TestBuildersClampShards(t *testing.T) {
+	vecs := dataset.GIST(5, 15)
+	ix, err := BuildHamming(vecs, 4, 8, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, ok := ix.(*Sharded)
+	if !ok {
+		t.Fatalf("expected *Sharded, got %T", ix)
+	}
+	if sh.Shards() != 5 || sh.Len() != 5 {
+		t.Fatalf("shards=%d len=%d, want 5/5", sh.Shards(), sh.Len())
+	}
+	if _, err := BuildHamming(vecs, 4, 8, 0, 0); err != nil {
+		t.Fatalf("shards=0 rejected: %v", err)
+	}
+	if _, err := BuildHamming(nil, 4, 8, 2, 0); err == nil {
+		t.Fatal("empty database accepted")
+	}
+	if _, err := BuildHamming(vecs, 4, 10000, 2, 0); err == nil {
+		t.Fatal("default τ beyond the vector dimension accepted")
+	}
+}
+
+func TestParseProblem(t *testing.T) {
+	for _, s := range []string{"hamming", "set", "string", "graph"} {
+		p, err := ParseProblem(s)
+		if err != nil || string(p) != s {
+			t.Fatalf("ParseProblem(%q) = %v, %v", s, p, err)
+		}
+	}
+	if _, err := ParseProblem("vector"); err == nil {
+		t.Fatal("unknown problem accepted")
+	}
+}

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// Sharded is a composite Index over N shards, each an Index holding a
+// contiguous slice of the database. A query fans out to every shard on
+// a worker pool; shard i's local ids are rebased by its offset and the
+// per-shard results concatenated in shard order, which keeps the
+// output in ascending global id order — every backend returns exact,
+// sorted results, so the concatenation is id-for-id identical to
+// searching one unsharded index over the whole database.
+//
+// Sharded is immutable after NewSharded and safe for concurrent use:
+// shards are themselves immutable and fan-out state is per call.
+type Sharded struct {
+	problem Problem
+	shards  []Index
+	offsets []int64
+	workers int
+	total   int
+}
+
+// NewSharded builds a composite over shards, which must be non-empty,
+// share one Problem and one default τ, and hold contiguous id ranges
+// in order (shard 0 owns ids [0, shard0.Len()), shard 1 the next
+// range, and so on — the layout Build* producers emit). workers caps
+// the per-query fan-out; ≤ 0 selects GOMAXPROCS.
+func NewSharded(shards []Index, workers int) (*Sharded, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("engine: no shards")
+	}
+	p := shards[0].Problem()
+	tau := shards[0].Tau()
+	offsets := make([]int64, len(shards))
+	total := 0
+	for i, sh := range shards {
+		if sh.Problem() != p {
+			return nil, fmt.Errorf("engine: shard %d is a %s index, want %s", i, sh.Problem(), p)
+		}
+		if sh.Tau() != tau {
+			return nil, fmt.Errorf("engine: shard %d built for τ=%v, want %v", i, sh.Tau(), tau)
+		}
+		offsets[i] = int64(total)
+		total += sh.Len()
+	}
+	return &Sharded{problem: p, shards: shards, offsets: offsets, workers: workers, total: total}, nil
+}
+
+// Problem returns the shards' common problem.
+func (s *Sharded) Problem() Problem { return s.problem }
+
+// Len returns the total number of indexed objects across shards.
+func (s *Sharded) Len() int { return s.total }
+
+// Tau returns the shards' common default threshold.
+func (s *Sharded) Tau() float64 { return s.shards[0].Tau() }
+
+// Shards returns the number of shards.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Search fans q out to every shard and merges the results. The
+// returned Stats aggregate all shards (TotalNS sums shard CPU time,
+// WallNS is the end-to-end clock) and carry the per-shard breakdown
+// in PerShard.
+func (s *Sharded) Search(q Query, opt Options) ([]int64, Stats, error) {
+	if err := checkKind(q, s.problem); err != nil {
+		return nil, Stats{}, err
+	}
+	start := time.Now()
+	ids := make([][]int64, len(s.shards))
+	perShard := make([]Stats, len(s.shards))
+	err := parallel.ForEachErr(len(s.shards), s.workers, func(i int) error {
+		shardIDs, st, err := s.shards[i].Search(q, opt)
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		for j := range shardIDs {
+			shardIDs[j] += s.offsets[i]
+		}
+		ids[i], perShard[i] = shardIDs, st
+		return nil
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var agg Stats
+	n := 0
+	for i, st := range perShard {
+		agg.merge(st)
+		n += len(ids[i])
+	}
+	out := make([]int64, 0, n)
+	for _, shardIDs := range ids {
+		out = append(out, shardIDs...)
+	}
+	agg.WallNS = time.Since(start).Nanoseconds()
+	agg.PerShard = perShard
+	return out, agg, nil
+}

@@ -1,0 +1,50 @@
+package engine
+
+// Stats is the engine's common work report, mapped from each backend's
+// native statistics. Counter semantics follow the paper: Candidates is
+// the number of objects that survived all filters and reached
+// verification, Probes the posting entries scanned, BoxChecks the box
+// evaluations of the chain-filter step.
+type Stats struct {
+	// Candidates is the number of objects that reached verification.
+	Candidates int `json:"candidates"`
+	// Results is the number of objects meeting the threshold.
+	Results int `json:"results"`
+	// Probes is the number of posting-list entries scanned.
+	Probes int `json:"probes"`
+	// BoxChecks is the number of box evaluations performed.
+	BoxChecks int `json:"boxChecks"`
+	// FilterNS is the candidate-generation time in nanoseconds,
+	// measured only when Options.Timings is set (0 otherwise).
+	FilterNS int64 `json:"filterNs"`
+	// VerifyNS is the verification share of the search pass (its
+	// elapsed time minus FilterNS); only meaningful when
+	// Options.Timings is set. FilterNS + VerifyNS is the search pass
+	// alone, which is less than TotalNS because measuring the split
+	// costs an extra filter pass.
+	VerifyNS int64 `json:"verifyNs"`
+	// TotalNS is the CPU time spent serving the call, including the
+	// extra filter pass when Timings is set: for a sharded index the
+	// sum over shards, which exceeds the wall clock when shards run in
+	// parallel.
+	TotalNS int64 `json:"totalNs"`
+	// WallNS is the end-to-end wall-clock time of the call, the
+	// Timings pre-pass included.
+	WallNS int64 `json:"wallNs"`
+	// PerShard holds the per-shard breakdown when the index is
+	// sharded; nil for a plain adapter.
+	PerShard []Stats `json:"perShard,omitempty"`
+}
+
+// merge accumulates o's counters and CPU times into s. Wall time and
+// the per-shard breakdown are left to the caller: summing wall clocks
+// across parallel shards would be meaningless.
+func (s *Stats) merge(o Stats) {
+	s.Candidates += o.Candidates
+	s.Results += o.Results
+	s.Probes += o.Probes
+	s.BoxChecks += o.BoxChecks
+	s.FilterNS += o.FilterNS
+	s.VerifyNS += o.VerifyNS
+	s.TotalNS += o.TotalNS
+}

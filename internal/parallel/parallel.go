@@ -9,12 +9,26 @@ package parallel
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // ForEach runs job(i) for every i in [0, n) on a pool of the given
 // size. workers ≤ 0 selects GOMAXPROCS; a pool of one degenerates to a
 // plain loop. It returns when all jobs have finished.
 func ForEach(n, workers int, job func(i int)) {
+	ForEachErr(n, workers, func(i int) error {
+		job(i)
+		return nil
+	})
+}
+
+// ForEachErr is the error-propagating variant of ForEach: job(i) runs
+// for every i in [0, n) on a pool of the given size until a job fails.
+// After the first failure no new jobs are dispatched (jobs already
+// running finish), and the error of the lowest-indexed failed job is
+// returned, so the result is deterministic even under races between
+// concurrent failures. A nil return means every job ran and succeeded.
+func ForEachErr(n, workers int, job func(i int) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -23,24 +37,40 @@ func ForEach(n, workers int, job func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			job(i)
+			if err := job(i); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
-	var wg sync.WaitGroup
+	var (
+		wg       sync.WaitGroup
+		failed   atomic.Bool
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+	)
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				job(i)
+				if err := job(i); err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+				}
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && !failed.Load(); i++ {
 		next <- i
 	}
 	close(next)
 	wg.Wait()
+	return firstErr
 }

@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"errors"
+	"fmt"
 	"sync/atomic"
 	"testing"
 )
@@ -28,4 +30,88 @@ func TestForEachRunsAllJobs(t *testing.T) {
 
 func TestForEachZeroJobs(t *testing.T) {
 	ForEach(0, 4, func(i int) { t.Error("job ran") })
+}
+
+func TestForEachErrRunsAllJobsOnSuccess(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 7, 100} {
+		var count atomic.Int64
+		seen := make([]atomic.Bool, 57)
+		err := ForEachErr(57, workers, func(i int) error {
+			count.Add(1)
+			if seen[i].Swap(true) {
+				t.Errorf("job %d ran twice", i)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		if count.Load() != 57 {
+			t.Fatalf("workers=%d: ran %d of 57 jobs", workers, count.Load())
+		}
+		for i := range seen {
+			if !seen[i].Load() {
+				t.Fatalf("workers=%d: job %d never ran", workers, i)
+			}
+		}
+	}
+}
+
+func TestForEachErrReturnsLowestIndexedError(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 100} {
+		err := ForEachErr(100, workers, func(i int) error {
+			if i >= 30 {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected an error", workers)
+		}
+		if got, want := err.Error(), "job 30 failed"; got != want {
+			t.Fatalf("workers=%d: err = %q, want %q", workers, got, want)
+		}
+	}
+}
+
+func TestForEachErrStopsDispatchAfterFailure(t *testing.T) {
+	// Sequential mode must stop at the first error exactly.
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	err := ForEachErr(1000, 1, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if ran.Load() != 4 {
+		t.Fatalf("sequential mode ran %d jobs, want 4", ran.Load())
+	}
+
+	// Parallel mode may overshoot by in-flight jobs but must not run
+	// the whole range once a job has failed.
+	ran.Store(0)
+	err = ForEachErr(100000, 4, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if ran.Load() == 100000 {
+		t.Fatal("parallel mode dispatched every job despite an early failure")
+	}
+}
+
+func TestForEachErrZeroJobs(t *testing.T) {
+	if err := ForEachErr(0, 4, func(i int) error { return errors.New("ran") }); err != nil {
+		t.Fatal(err)
+	}
 }

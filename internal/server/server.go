@@ -1,0 +1,683 @@
+// Package server implements the HTTP/JSON serving layer of the
+// pigeonringd query daemon: loading synthetic datasets into sharded
+// engine indexes, answering single and batch searches with tunable τ
+// and chain length, and exposing live per-problem statistics.
+//
+// The API is versioned under /v1:
+//
+//	POST /v1/load          {"problem":"hamming","n":5000,"shards":4,...}
+//	POST /v1/search        {"problem":"hamming","queryId":17,"l":6,...}
+//	POST /v1/search/batch  {"problem":"set","queryIds":[1,2,3],...}
+//	GET  /v1/stats
+//	GET  /v1/healthz
+//
+// One index is held per problem; loading replaces the previous index
+// atomically. Searches are lock-free after entry lookup — engine
+// indexes are immutable — so any number of requests may run
+// concurrently, each fanning out across the index's shards.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/setsim"
+	"repro/internal/tokenset"
+)
+
+// Server holds one loaded index per problem plus live serving
+// statistics. Create it with New and mount Handler on an http.Server.
+type Server struct {
+	workers int
+	started time.Time
+
+	mu      sync.RWMutex
+	entries map[engine.Problem]*entry
+}
+
+// entry binds a loaded index to the dataset it was built from (kept
+// for queryId resolution) and its live counters.
+type entry struct {
+	index   engine.Index
+	dataset string
+	buildMS float64
+
+	vecs   []bitvec.Vector
+	sets   []tokenset.Set
+	strs   []string
+	graphs []*graph.Graph
+
+	queries    atomic.Int64
+	errors     atomic.Int64
+	candidates atomic.Int64
+	results    atomic.Int64
+	filterNS   atomic.Int64
+	verifyNS   atomic.Int64
+	wallNS     atomic.Int64
+}
+
+// New creates an empty server. workers caps the per-query shard
+// fan-out and the per-batch query parallelism; ≤ 0 selects GOMAXPROCS.
+func New(workers int) *Server {
+	return &Server{
+		workers: workers,
+		started: time.Now(),
+		entries: make(map[engine.Problem]*entry),
+	}
+}
+
+// Handler returns the server's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/load", s.handleLoad)
+	mux.HandleFunc("POST /v1/search", s.handleSearch)
+	mux.HandleFunc("POST /v1/search/batch", s.handleSearchBatch)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// maxBodyBytes caps request bodies; the largest legitimate payload is
+// a batch of query ids or an inline graph spec, both far under 4 MiB.
+const maxBodyBytes = 4 << 20
+
+// Load-parameter bounds: synthetic datasets are generated in-process,
+// so n, the box count and the gram length all translate directly into
+// allocation sizes.
+const (
+	maxLoadN      = 1 << 20
+	maxLoadM      = 64
+	maxLoadKappa  = 8
+	maxLoadShards = 256
+	// maxLoadTau bounds integer-distance thresholds: the graph builder
+	// allocates τ+1 parts per graph and the string builder τ+1 pivotal
+	// slots per string, so τ is an allocation size too.
+	maxLoadTau = 1 << 10
+)
+
+// maxBatchQueries caps one batch request; a batch dispatches that many
+// full sharded searches, so it needs a bound for the same reason the
+// load parameters do.
+const maxBatchQueries = 1024
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// lookup resolves the entry serving a problem name.
+func (s *Server) lookup(w http.ResponseWriter, name string) (*entry, engine.Problem, bool) {
+	p, err := engine.ParseProblem(name)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return nil, "", false
+	}
+	s.mu.RLock()
+	e := s.entries[p]
+	s.mu.RUnlock()
+	if e == nil {
+		writeError(w, http.StatusNotFound, "no %s index loaded (POST /v1/load first)", p)
+		return nil, "", false
+	}
+	return e, p, true
+}
+
+// --- /v1/load ----------------------------------------------------------------
+
+// LoadRequest configures a dataset load. Zero fields select the
+// defaults listed per field.
+type LoadRequest struct {
+	// Problem is hamming, set, string or graph (required).
+	Problem string `json:"problem"`
+	// Dataset picks the synthetic generator: gist (default) or sift
+	// for hamming; dblp (default) or enron for set; imdb (default) or
+	// pubmed for string; aids (default) or protein for graph.
+	Dataset string `json:"dataset,omitempty"`
+	// N is the database size (default 5000; graphs default 500, exact
+	// GED verification is expensive).
+	N int `json:"n,omitempty"`
+	// Seed drives the deterministic generator (default 42).
+	Seed int64 `json:"seed,omitempty"`
+	// Tau is the build threshold (defaults when omitted: hamming 24,
+	// set 0.8, string 2, graph 3). For the integer-distance problems
+	// an explicit 0 builds an exact-match index; set similarity
+	// requires a Jaccard τ in (0, 1]. Hamming indexes accept
+	// per-search overrides; the others are built for this τ.
+	Tau *float64 `json:"tau,omitempty"`
+	// Shards is the number of index shards (default 1).
+	Shards int `json:"shards,omitempty"`
+	// M is the part/box count: hamming partition parts (default d/16),
+	// set similarity boxes (default 5).
+	M int `json:"m,omitempty"`
+	// Kappa is the gram length for string indexes (default 2, or 3
+	// when τ ≤ 1).
+	Kappa int `json:"kappa,omitempty"`
+}
+
+// LoadResponse reports what was built.
+type LoadResponse struct {
+	Problem string  `json:"problem"`
+	Dataset string  `json:"dataset"`
+	N       int     `json:"n"`
+	Tau     float64 `json:"tau"`
+	Shards  int     `json:"shards"`
+	BuildMS float64 `json:"buildMs"`
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	var req LoadRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	p, err := engine.ParseProblem(req.Problem)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.N < 0 {
+		writeError(w, http.StatusBadRequest, "negative n")
+		return
+	}
+	// Bound the build parameters: dataset generation and index
+	// construction are proportional to n (and search-time scratch to
+	// M), so unbounded values would let one request pin or OOM the
+	// daemon — the same reason inline graph queries are capped.
+	if req.N > maxLoadN {
+		writeError(w, http.StatusBadRequest, "n=%d exceeds the limit of %d", req.N, maxLoadN)
+		return
+	}
+	if req.M > maxLoadM {
+		writeError(w, http.StatusBadRequest, "m=%d exceeds the limit of %d", req.M, maxLoadM)
+		return
+	}
+	if req.Kappa > maxLoadKappa {
+		writeError(w, http.StatusBadRequest, "kappa=%d exceeds the limit of %d", req.Kappa, maxLoadKappa)
+		return
+	}
+	if req.N == 0 {
+		if p == engine.Graph {
+			req.N = 500
+		} else {
+			req.N = 5000
+		}
+	}
+	if req.Seed == 0 {
+		req.Seed = 42
+	}
+	if req.Shards <= 0 {
+		req.Shards = 1
+	}
+	if req.Shards > maxLoadShards {
+		writeError(w, http.StatusBadRequest, "shards=%d exceeds the limit of %d", req.Shards, maxLoadShards)
+		return
+	}
+	// Hamming, string and graph thresholds are integer distances;
+	// reject fractional, negative or oversized τ instead of silently
+	// truncating (or trying to allocate) it.
+	if req.Tau != nil && p != engine.Set {
+		if *req.Tau != math.Trunc(*req.Tau) {
+			writeError(w, http.StatusBadRequest, "%s threshold must be an integer, got τ=%v", p, *req.Tau)
+			return
+		}
+		if *req.Tau < 0 || *req.Tau > maxLoadTau {
+			writeError(w, http.StatusBadRequest, "%s threshold τ=%v outside [0, %d]", p, *req.Tau, maxLoadTau)
+			return
+		}
+	}
+	// tau resolves the build threshold with a per-problem default; a
+	// pointer keeps an explicit τ=0 (exact match) distinct from unset.
+	tau := func(def float64) float64 {
+		if req.Tau != nil {
+			return *req.Tau
+		}
+		return def
+	}
+
+	start := time.Now()
+	e := &entry{}
+	switch p {
+	case engine.Hamming:
+		tauV := tau(24)
+		gen := dataset.GIST
+		switch req.Dataset {
+		case "", "gist":
+			req.Dataset = "gist"
+		case "sift":
+			gen = dataset.SIFT
+		default:
+			writeError(w, http.StatusBadRequest, "unknown hamming dataset %q (want gist or sift)", req.Dataset)
+			return
+		}
+		e.vecs = gen(req.N, req.Seed)
+		m := req.M
+		if m <= 0 {
+			m = e.vecs[0].Dim() / 16
+		}
+		e.index, err = engine.BuildHamming(e.vecs, m, int(tauV), req.Shards, s.workers)
+	case engine.Set:
+		tauV := tau(0.8)
+		gen := dataset.DBLP
+		switch req.Dataset {
+		case "", "dblp":
+			req.Dataset = "dblp"
+		case "enron":
+			gen = dataset.Enron
+		default:
+			writeError(w, http.StatusBadRequest, "unknown set dataset %q (want dblp or enron)", req.Dataset)
+			return
+		}
+		e.sets = gen(req.N, req.Seed)
+		m := req.M
+		if m <= 0 {
+			m = 5
+		}
+		cfg := setsim.Config{Measure: setsim.Jaccard, Tau: tauV, M: m}
+		e.index, err = engine.BuildSet(e.sets, cfg, req.Shards, s.workers)
+	case engine.String:
+		tauV := tau(2)
+		gen := dataset.IMDB
+		switch req.Dataset {
+		case "", "imdb":
+			req.Dataset = "imdb"
+		case "pubmed":
+			gen = dataset.PubMed
+		default:
+			writeError(w, http.StatusBadRequest, "unknown string dataset %q (want imdb or pubmed)", req.Dataset)
+			return
+		}
+		e.strs = gen(req.N, req.Seed)
+		kappa := req.Kappa
+		if kappa <= 0 {
+			kappa = 2
+			if tauV <= 1 {
+				kappa = 3
+			}
+		}
+		e.index, err = engine.BuildString(e.strs, kappa, int(tauV), req.Shards, s.workers)
+	case engine.Graph:
+		tauV := tau(3)
+		gen := dataset.AIDS
+		switch req.Dataset {
+		case "", "aids":
+			req.Dataset = "aids"
+		case "protein":
+			gen = dataset.Protein
+		default:
+			writeError(w, http.StatusBadRequest, "unknown graph dataset %q (want aids or protein)", req.Dataset)
+			return
+		}
+		e.graphs = gen(req.N, req.Seed)
+		e.index, err = engine.BuildGraph(e.graphs, int(tauV), req.Shards, s.workers)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "building %s index: %v", p, err)
+		return
+	}
+	e.dataset = req.Dataset
+	e.buildMS = float64(time.Since(start).Nanoseconds()) / 1e6
+
+	s.mu.Lock()
+	s.entries[p] = e
+	s.mu.Unlock()
+
+	shards := 1
+	if sh, ok := e.index.(*engine.Sharded); ok {
+		shards = sh.Shards()
+	}
+	writeJSON(w, http.StatusOK, LoadResponse{
+		Problem: string(p), Dataset: req.Dataset, N: e.index.Len(),
+		Tau: e.index.Tau(), Shards: shards, BuildMS: e.buildMS,
+	})
+}
+
+// --- /v1/search --------------------------------------------------------------
+
+// GraphSpec is the wire encoding of a graph query: n vertices with
+// labels, and undirected labeled edges [u, v, label].
+type GraphSpec struct {
+	N            int      `json:"n"`
+	VertexLabels []int32  `json:"vertexLabels"`
+	Edges        [][3]int `json:"edges"`
+}
+
+// maxQueryGraphVertices bounds inline graph queries: graph.New
+// allocates an n×n adjacency matrix, so an unbounded n would let a
+// tiny request body force a multi-gigabyte allocation. Data graphs in
+// this repo have tens of vertices; 1024 is far above any legitimate
+// query.
+const maxQueryGraphVertices = 1024
+
+func (gs *GraphSpec) build() (*graph.Graph, error) {
+	if gs.N <= 0 {
+		return nil, fmt.Errorf("graph query needs n ≥ 1")
+	}
+	if gs.N > maxQueryGraphVertices {
+		return nil, fmt.Errorf("graph query n=%d exceeds the limit of %d vertices", gs.N, maxQueryGraphVertices)
+	}
+	if len(gs.VertexLabels) != gs.N {
+		return nil, fmt.Errorf("graph query has %d vertex labels for n=%d", len(gs.VertexLabels), gs.N)
+	}
+	g := graph.New(gs.N)
+	for v, lab := range gs.VertexLabels {
+		if lab < 0 {
+			return nil, fmt.Errorf("graph query vertex %d has negative label %d", v, lab)
+		}
+		g.SetVertexLabel(v, lab)
+	}
+	for _, e := range gs.Edges {
+		u, v, lab := e[0], e[1], e[2]
+		if u < 0 || u >= gs.N || v < 0 || v >= gs.N || u == v {
+			return nil, fmt.Errorf("graph query edge [%d %d] out of range for n=%d", u, v, gs.N)
+		}
+		if lab < 0 || lab > math.MaxInt32 {
+			return nil, fmt.Errorf("graph query edge [%d %d] has invalid label %d", u, v, lab)
+		}
+		g.AddEdge(u, v, int32(lab))
+	}
+	return g, nil
+}
+
+// SearchRequest addresses one query at a loaded index. The query is
+// either QueryID — an id into the loaded synthetic dataset, the
+// paper's protocol of sampling queries from the data — or exactly one
+// inline payload matching the problem: Vector ("0101..." bit string),
+// Set (sorted unique token ids in the loaded dataset's frequency-rank
+// space), String, or Graph.
+type SearchRequest struct {
+	Problem string     `json:"problem"`
+	QueryID *int       `json:"queryId,omitempty"`
+	Vector  string     `json:"vector,omitempty"`
+	Set     []int32    `json:"set,omitempty"`
+	String  *string    `json:"string,omitempty"`
+	Graph   *GraphSpec `json:"graph,omitempty"`
+	// Tau overrides the threshold when present (hamming only; others
+	// are built for a fixed τ). Omitting it keeps the index default;
+	// an explicit 0 runs an exact-match search.
+	Tau *float64 `json:"tau,omitempty"`
+	// L is the pigeonring chain length: 0 the paper's recommendation,
+	// 1 the pigeonhole baseline, ≥ 2 the ring filter.
+	L int `json:"l,omitempty"`
+	// SkipVerify stops after candidate generation.
+	SkipVerify bool `json:"skipVerify,omitempty"`
+	// Timings measures the filter/verify time split (runs candidate
+	// generation twice).
+	Timings bool `json:"timings,omitempty"`
+}
+
+// SearchResponse carries one query's results.
+type SearchResponse struct {
+	Problem string       `json:"problem"`
+	IDs     []int64      `json:"ids"`
+	Stats   engine.Stats `json:"stats"`
+}
+
+// query resolves the request's query payload against the entry.
+func (e *entry) query(p engine.Problem, req *SearchRequest) (engine.Query, error) {
+	inline := 0
+	if req.Vector != "" {
+		inline++
+	}
+	if req.Set != nil {
+		inline++
+	}
+	if req.String != nil {
+		inline++
+	}
+	if req.Graph != nil {
+		inline++
+	}
+	if inline > 1 || (req.QueryID != nil && inline > 0) {
+		return engine.Query{}, fmt.Errorf("ambiguous query: supply queryId or exactly one inline payload, not both")
+	}
+	if req.QueryID != nil {
+		id := *req.QueryID
+		if id < 0 || id >= e.index.Len() {
+			return engine.Query{}, fmt.Errorf("queryId %d out of range [0, %d)", id, e.index.Len())
+		}
+		switch p {
+		case engine.Hamming:
+			return engine.VectorQuery(e.vecs[id]), nil
+		case engine.Set:
+			return engine.SetQuery(e.sets[id]), nil
+		case engine.String:
+			return engine.StringQuery(e.strs[id]), nil
+		case engine.Graph:
+			return engine.GraphQuery(e.graphs[id]), nil
+		}
+	}
+	switch p {
+	case engine.Hamming:
+		if req.Vector == "" {
+			return engine.Query{}, fmt.Errorf("hamming search needs queryId or vector")
+		}
+		v, err := bitvec.FromString(req.Vector)
+		if err != nil {
+			return engine.Query{}, err
+		}
+		return engine.VectorQuery(v), nil
+	case engine.Set:
+		if req.Set == nil {
+			return engine.Query{}, fmt.Errorf("set search needs queryId or set")
+		}
+		return engine.SetQuery(tokenset.Set(req.Set)), nil
+	case engine.String:
+		if req.String == nil {
+			return engine.Query{}, fmt.Errorf("string search needs queryId or string")
+		}
+		return engine.StringQuery(*req.String), nil
+	case engine.Graph:
+		if req.Graph == nil {
+			return engine.Query{}, fmt.Errorf("graph search needs queryId or graph")
+		}
+		g, err := req.Graph.build()
+		if err != nil {
+			return engine.Query{}, err
+		}
+		return engine.GraphQuery(g), nil
+	}
+	return engine.Query{}, fmt.Errorf("unhandled problem %s", p)
+}
+
+func (req *SearchRequest) options() engine.Options {
+	return engine.Options{
+		Tau:         req.Tau,
+		ChainLength: req.L,
+		SkipVerify:  req.SkipVerify,
+		Timings:     req.Timings,
+	}
+}
+
+// record folds one search outcome into the entry's live counters.
+func (e *entry) record(st engine.Stats) {
+	e.queries.Add(1)
+	e.candidates.Add(int64(st.Candidates))
+	e.results.Add(int64(st.Results))
+	e.filterNS.Add(st.FilterNS)
+	e.verifyNS.Add(st.VerifyNS)
+	e.wallNS.Add(st.WallNS)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	e, p, ok := s.lookup(w, req.Problem)
+	if !ok {
+		return
+	}
+	q, err := e.query(p, &req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ids, st, err := e.index.Search(q, req.options())
+	if err != nil {
+		e.errors.Add(1)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e.record(st)
+	if ids == nil {
+		ids = []int64{}
+	}
+	writeJSON(w, http.StatusOK, SearchResponse{Problem: string(p), IDs: ids, Stats: st})
+}
+
+// --- /v1/search/batch --------------------------------------------------------
+
+// BatchRequest addresses many dataset queries at once.
+type BatchRequest struct {
+	Problem  string `json:"problem"`
+	QueryIDs []int  `json:"queryIds"`
+	// Workers caps cross-query parallelism; ≤ 0 selects GOMAXPROCS.
+	Workers    int      `json:"workers,omitempty"`
+	Tau        *float64 `json:"tau,omitempty"`
+	L          int      `json:"l,omitempty"`
+	SkipVerify bool     `json:"skipVerify,omitempty"`
+	Timings    bool     `json:"timings,omitempty"`
+}
+
+// BatchItem is one query's outcome within a batch.
+type BatchItem struct {
+	IDs   []int64      `json:"ids"`
+	Stats engine.Stats `json:"stats"`
+	Error string       `json:"error,omitempty"`
+}
+
+// BatchResponse carries per-query outcomes, positionally aligned with
+// the request's QueryIDs.
+type BatchResponse struct {
+	Problem string      `json:"problem"`
+	Results []BatchItem `json:"results"`
+}
+
+func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	e, p, ok := s.lookup(w, req.Problem)
+	if !ok {
+		return
+	}
+	if len(req.QueryIDs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty queryIds")
+		return
+	}
+	if len(req.QueryIDs) > maxBatchQueries {
+		writeError(w, http.StatusBadRequest, "batch of %d queries exceeds the limit of %d", len(req.QueryIDs), maxBatchQueries)
+		return
+	}
+	queries := make([]engine.Query, len(req.QueryIDs))
+	for i, id := range req.QueryIDs {
+		sr := SearchRequest{QueryID: &req.QueryIDs[i]}
+		q, err := e.query(p, &sr)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "query %d: %v", id, err)
+			return
+		}
+		queries[i] = q
+	}
+	opt := engine.Options{Tau: req.Tau, ChainLength: req.L, SkipVerify: req.SkipVerify, Timings: req.Timings}
+	batch := engine.SearchBatch(e.index, queries, opt, req.Workers)
+	resp := BatchResponse{Problem: string(p), Results: make([]BatchItem, len(batch))}
+	for i, br := range batch {
+		item := BatchItem{IDs: br.IDs, Stats: br.Stats}
+		if item.IDs == nil {
+			item.IDs = []int64{}
+		}
+		if br.Err != nil {
+			item.Error = br.Err.Error()
+			e.errors.Add(1)
+		} else {
+			e.record(br.Stats)
+		}
+		resp.Results[i] = item
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- /v1/stats ---------------------------------------------------------------
+
+// ProblemStats is the live serving report of one loaded index.
+type ProblemStats struct {
+	Dataset    string  `json:"dataset"`
+	N          int     `json:"n"`
+	Tau        float64 `json:"tau"`
+	Shards     int     `json:"shards"`
+	BuildMS    float64 `json:"buildMs"`
+	Queries    int64   `json:"queries"`
+	Errors     int64   `json:"errors"`
+	Candidates int64   `json:"candidates"`
+	Results    int64   `json:"results"`
+	FilterMS   float64 `json:"filterMs"`
+	VerifyMS   float64 `json:"verifyMs"`
+	WallMS     float64 `json:"wallMs"`
+}
+
+// StatsResponse is the /v1/stats payload.
+type StatsResponse struct {
+	UptimeSec float64                 `json:"uptimeSec"`
+	Problems  map[string]ProblemStats `json:"problems"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{
+		UptimeSec: time.Since(s.started).Seconds(),
+		Problems:  make(map[string]ProblemStats),
+	}
+	s.mu.RLock()
+	entries := make(map[engine.Problem]*entry, len(s.entries))
+	for p, e := range s.entries {
+		entries[p] = e
+	}
+	s.mu.RUnlock()
+	for p, e := range entries {
+		shards := 1
+		if sh, ok := e.index.(*engine.Sharded); ok {
+			shards = sh.Shards()
+		}
+		resp.Problems[string(p)] = ProblemStats{
+			Dataset:    e.dataset,
+			N:          e.index.Len(),
+			Tau:        e.index.Tau(),
+			Shards:     shards,
+			BuildMS:    e.buildMS,
+			Queries:    e.queries.Load(),
+			Errors:     e.errors.Load(),
+			Candidates: e.candidates.Load(),
+			Results:    e.results.Load(),
+			FilterMS:   float64(e.filterNS.Load()) / 1e6,
+			VerifyMS:   float64(e.verifyNS.Load()) / 1e6,
+			WallMS:     float64(e.wallNS.Load()) / 1e6,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -51,6 +51,10 @@ func NewPKWiseDB(sets []tokenset.Set, cfg Config) (*PKWiseDB, error) {
 // Len returns the number of indexed sets.
 func (db *PKWiseDB) Len() int { return len(db.sets) }
 
+// Config returns the (measure, τ, M) configuration the index was built
+// for.
+func (db *PKWiseDB) Config() Config { return db.cfg }
+
 // Set returns the indexed set with the given id.
 func (db *PKWiseDB) Set(id int) tokenset.Set { return db.sets[id] }
 
