@@ -1,28 +1,35 @@
 // Command pigeonring demonstrates the four τ-selection searches on
 // synthetic data from the command line, comparing the pigeonhole
-// baseline against the pigeonring filter.
+// baseline against the pigeonring filter through the unified engine
+// layer.
 //
 // Usage:
 //
-//	pigeonring -problem hamming|set|string|graph [-n 5000] [-tau τ] [-l chain] [-queries 10]
+//	pigeonring -problem hamming|set|string|graph [-n 5000] [-tau τ] [-l chain]
+//	           [-queries 10] [-shards 1] [-limit 0]
 //
 // For each sampled query it prints the result count and the candidate
 // counts of the baseline (l = 1) and the pigeonring filter, plus the
-// timing totals.
+// timing totals. -shards fans each query out across an engine.Sharded
+// index; -limit stops each search after its first k ids (early
+// termination). Ctrl-C cancels the run mid-query: every search runs
+// under a signal-bound context, so an interrupted sweep stops at the
+// next shard boundary instead of finishing the whole batch.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"time"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/dataset"
-	"repro/internal/graph"
-	"repro/internal/hamming"
+	"repro/internal/engine"
 	"repro/internal/setsim"
-	"repro/internal/strdist"
 )
 
 func main() {
@@ -33,23 +40,138 @@ func main() {
 	tau := flag.Float64("tau", -1, "threshold (defaults per problem)")
 	l := flag.Int("l", 0, "chain length (defaults to the paper's tuning)")
 	queries := flag.Int("queries", 10, "number of sampled queries")
+	shards := flag.Int("shards", 1, "engine shards per index")
+	limit := flag.Int("limit", 0, "stop each search after the first k ids (0 = all)")
 	seed := flag.Int64("seed", 42, "dataset seed")
 	flag.Parse()
 
-	switch *problem {
-	case "hamming":
-		runHamming(*n, *tau, *l, *queries, *seed)
-	case "set":
-		runSet(*n, *tau, *l, *queries, *seed)
-	case "string":
-		runString(*n, *tau, *l, *queries, *seed)
-	case "graph":
-		runGraph(*n, *tau, *l, *queries, *seed)
-	default:
-		log.Printf("unknown problem %q", *problem)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	p, err := engine.ParseProblem(*problem)
+	if err != nil {
+		log.Printf("%v", err)
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	ix, queriesQ, err := build(p, *n, *tau, *shards, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseName := map[engine.Problem]string{
+		engine.Hamming: "GPH", engine.Set: "pkwise", engine.String: "Pivotal", engine.Graph: "Pars",
+	}[p]
+	fmt.Printf("%s search: n=%d τ=%g shards=%d l=%d (0 = paper default)\n",
+		p, ix.Len(), ix.Tau(), *shards, *l)
+
+	var t tally
+	opt := engine.Options{ChainLength: *l, Limit: *limit}
+	base := engine.Options{ChainLength: 1, Limit: *limit}
+	sampled := dataset.SampleQueries(ix.Len(), *queries, *seed)
+	for _, qi := range sampled {
+		q := queriesQ[qi]
+		_, bst, err := ix.Search(ctx, q, base)
+		if stopOnCancel(err) {
+			return
+		}
+		t.base += bst.Candidates
+		t.baseMS += float64(bst.WallNS) / 1e6
+		res, rst, err := ix.Search(ctx, q, opt)
+		if stopOnCancel(err) {
+			return
+		}
+		t.ring += rst.Candidates
+		t.ringMS += float64(rst.WallNS) / 1e6
+		t.results += len(res)
+	}
+	t.report(baseName, len(sampled))
+}
+
+// stopOnCancel distinguishes a Ctrl-C abort (clean exit) from a real
+// search failure (fatal).
+func stopOnCancel(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) {
+		log.Print("interrupted, stopping")
+		return true
+	}
+	log.Fatal(err)
+	return true
+}
+
+// build constructs the engine index and the query encoder for one
+// problem, resolving per-problem τ defaults.
+func build(p engine.Problem, n int, tauF float64, shards int, seed int64) (engine.Index, []engine.Query, error) {
+	switch p {
+	case engine.Hamming:
+		tau := 24
+		if tauF >= 0 {
+			tau = int(tauF)
+		}
+		vecs := dataset.GIST(n, seed)
+		ix, err := engine.BuildHamming(vecs, vecs[0].Dim()/16, tau, shards, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		qs := make([]engine.Query, len(vecs))
+		for i, v := range vecs {
+			qs[i] = engine.VectorQuery(v)
+		}
+		return ix, qs, nil
+	case engine.Set:
+		tau := 0.8
+		if tauF > 0 {
+			tau = tauF
+		}
+		sets := dataset.DBLP(n, seed)
+		ix, err := engine.BuildSet(sets, setsim.Config{Measure: setsim.Jaccard, Tau: tau, M: 5}, shards, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		qs := make([]engine.Query, len(sets))
+		for i, s := range sets {
+			qs[i] = engine.SetQuery(s)
+		}
+		return ix, qs, nil
+	case engine.String:
+		tau := 2
+		if tauF >= 0 {
+			tau = int(tauF)
+		}
+		kappa := 2
+		if tau <= 1 {
+			kappa = 3
+		}
+		strs := dataset.IMDB(n, seed)
+		ix, err := engine.BuildString(strs, kappa, tau, shards, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		qs := make([]engine.Query, len(strs))
+		for i, s := range strs {
+			qs[i] = engine.StringQuery(s)
+		}
+		return ix, qs, nil
+	case engine.Graph:
+		tau := 3
+		if tauF >= 0 {
+			tau = int(tauF)
+		}
+		graphs := dataset.AIDS(n, seed)
+		ix, err := engine.BuildGraph(graphs, tau, shards, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		qs := make([]engine.Query, len(graphs))
+		for i, g := range graphs {
+			qs[i] = engine.GraphQuery(g)
+		}
+		return ix, qs, nil
+	}
+	return nil, nil, fmt.Errorf("unhandled problem %s", p)
 }
 
 type tally struct {
@@ -76,168 +198,4 @@ func (t tally) report(baseName string, queries int) {
 	fmt.Printf("results: %d\n", t.results)
 	fmt.Printf("avg time: %s %s, Ring %s (speedup %s)\n",
 		baseName, perQuery("%.3fms", t.baseMS), perQuery("%.3fms", t.ringMS), speedup)
-}
-
-func timed(fn func()) float64 {
-	start := time.Now()
-	fn()
-	return float64(time.Since(start).Nanoseconds()) / 1e6
-}
-
-func runHamming(n int, tauF float64, l, queries int, seed int64) {
-	tau := 24
-	if tauF >= 0 {
-		tau = int(tauF)
-	}
-	if l <= 0 {
-		l = 6
-	}
-	vecs := dataset.GIST(n, seed)
-	db, err := hamming.NewDB(vecs, vecs[0].Dim()/16)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("Hamming distance search: n=%d d=%d τ=%d l=%d\n", n, vecs[0].Dim(), tau, l)
-	var t tally
-	for _, qi := range dataset.SampleQueries(n, queries, seed) {
-		q := vecs[qi]
-		t.baseMS += timed(func() {
-			_, st, err := db.Search(q, tau, hamming.GPHOptions())
-			if err != nil {
-				log.Fatal(err)
-			}
-			t.base += st.Candidates
-		})
-		t.ringMS += timed(func() {
-			res, st, err := db.Search(q, tau, hamming.RingOptions(l))
-			if err != nil {
-				log.Fatal(err)
-			}
-			t.ring += st.Candidates
-			t.results += len(res)
-		})
-	}
-	t.report("GPH", queries)
-}
-
-func runSet(n int, tauF float64, l, queries int, seed int64) {
-	tau := 0.8
-	if tauF > 0 {
-		tau = tauF
-	}
-	if l <= 0 {
-		l = 2
-	}
-	sets := dataset.DBLP(n, seed)
-	db, err := setsim.NewPKWiseDB(sets, setsim.Config{Measure: setsim.Jaccard, Tau: tau, M: 5})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("Set similarity search (Jaccard): n=%d τ=%g l=%d\n", n, tau, l)
-	var t tally
-	for _, qi := range dataset.SampleQueries(n, queries, seed) {
-		q := sets[qi]
-		t.baseMS += timed(func() {
-			_, st, err := db.Search(q, 1)
-			if err != nil {
-				log.Fatal(err)
-			}
-			t.base += st.Candidates
-		})
-		t.ringMS += timed(func() {
-			res, st, err := db.Search(q, l)
-			if err != nil {
-				log.Fatal(err)
-			}
-			t.ring += st.Candidates
-			t.results += len(res)
-		})
-	}
-	t.report("pkwise", queries)
-}
-
-func runString(n int, tauF float64, l, queries int, seed int64) {
-	tau := 2
-	if tauF >= 0 {
-		tau = int(tauF)
-	}
-	if l <= 0 {
-		l = 3
-		if tau+1 < l {
-			l = tau + 1
-		}
-	}
-	strs := dataset.IMDB(n, seed)
-	kappa := 2
-	if tau <= 1 {
-		kappa = 3
-	}
-	dict, err := strdist.BuildGramDict(strs, kappa)
-	if err != nil {
-		log.Fatal(err)
-	}
-	db, err := strdist.NewDB(strs, dict, tau)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("String edit distance search: n=%d τ=%d κ=%d l=%d\n", n, tau, kappa, l)
-	var t tally
-	for _, qi := range dataset.SampleQueries(n, queries, seed) {
-		q := strs[qi]
-		t.baseMS += timed(func() {
-			_, st, err := db.Search(q, strdist.PivotalOptions())
-			if err != nil {
-				log.Fatal(err)
-			}
-			t.base += st.Cand2 + st.Fallback
-		})
-		t.ringMS += timed(func() {
-			res, st, err := db.Search(q, strdist.RingOptions(l))
-			if err != nil {
-				log.Fatal(err)
-			}
-			t.ring += st.Cand2 + st.Fallback
-			t.results += len(res)
-		})
-	}
-	t.report("Pivotal", queries)
-}
-
-func runGraph(n int, tauF float64, l, queries int, seed int64) {
-	tau := 3
-	if tauF >= 0 {
-		tau = int(tauF)
-	}
-	if l <= 0 {
-		l = tau - 1
-		if l < 1 {
-			l = 1
-		}
-	}
-	graphs := dataset.AIDS(n, seed)
-	db, err := graph.NewDB(graphs, tau)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("Graph edit distance search: n=%d τ=%d l=%d\n", n, tau, l)
-	var t tally
-	for _, qi := range dataset.SampleQueries(n, queries, seed) {
-		q := graphs[qi]
-		t.baseMS += timed(func() {
-			_, st, err := db.Search(q, graph.ParsOptions())
-			if err != nil {
-				log.Fatal(err)
-			}
-			t.base += st.Candidates
-		})
-		t.ringMS += timed(func() {
-			res, st, err := db.Search(q, graph.RingOptions(l))
-			if err != nil {
-				log.Fatal(err)
-			}
-			t.ring += st.Candidates
-			t.results += len(res)
-		})
-	}
-	t.report("Pars", queries)
 }

@@ -11,10 +11,14 @@
 // datasets; bench regenerates every evaluation figure.
 //
 // Above the four problem packages sits engine, the unified serving
-// layer: one Index interface with typed queries over every backend, a
-// sharded composite that fans queries out across a worker pool, and a
-// batch API parallelizing across queries. server exposes that layer
-// over HTTP/JSON; cmd/pigeonringd is the daemon serving it.
+// layer: one Index interface with typed queries over every backend —
+// Search(ctx, q, opt) plus the streaming SearchSeq, both
+// context-cancellable with Options.Limit early termination — a
+// sharded composite that fans queries out across a worker pool and
+// abandons shards on cancellation or a satisfied limit, and a batch
+// API parallelizing across queries. server exposes that layer over
+// HTTP/JSON (request-scoped contexts, limit/timeout_ms, cancelled and
+// limited counters); cmd/pigeonringd is the daemon serving it.
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
 // substitutions, and EXPERIMENTS.md for paper-versus-measured results.

@@ -4,8 +4,10 @@
 // images are hashed to binary codes and near-duplicates are the codes
 // within Hamming distance τ of the query. This example builds a
 // database of synthetic image codes containing planted near-duplicate
-// groups, then answers queries with the GPH baseline (pigeonhole) and
-// the Ring filter (pigeonring), showing the candidate reduction.
+// groups behind a sharded engine index, then answers queries with the
+// GPH baseline (pigeonhole) and the Ring filter (pigeonring), showing
+// the candidate reduction — and uses Options.Limit to fetch only a
+// page of duplicates, abandoning the shards past the first page.
 //
 // Run with:
 //
@@ -13,12 +15,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
 	"repro/internal/bitvec"
-	"repro/internal/hamming"
+	"repro/internal/engine"
 )
 
 func main() {
@@ -46,24 +49,26 @@ func main() {
 		vecs = append(vecs, bitvec.Random(rng, d))
 	}
 
-	db, err := hamming.NewDB(vecs, d/16)
+	ix, err := engine.BuildHamming(vecs, d/16, tau, 8, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	query := photo.Clone()
 	query.Flip(3) // the query is itself a slightly different re-encode
+	q := engine.VectorQuery(query)
+	ctx := context.Background()
 
-	gphRes, gphStats, err := db.Search(query, tau, hamming.GPHOptions())
+	gphRes, gphStats, err := ix.Search(ctx, q, engine.Options{ChainLength: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
-	ringRes, ringStats, err := db.Search(query, tau, hamming.RingOptions(6))
+	ringRes, ringStats, err := ix.Search(ctx, q, engine.Options{ChainLength: 6})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("database: %d codes of %d bits, τ = %d\n\n", n, d, tau)
+	fmt.Printf("database: %d codes of %d bits, τ = %d, 8 shards\n\n", n, d, tau)
 	fmt.Printf("%-22s %12s %12s\n", "", "candidates", "results")
 	fmt.Printf("%-22s %12d %12d\n", "GPH (pigeonhole)", gphStats.Candidates, len(gphRes))
 	fmt.Printf("%-22s %12d %12d\n", "Ring (pigeonring l=6)", ringStats.Candidates, len(ringRes))
@@ -71,14 +76,15 @@ func main() {
 	if len(gphRes) != len(ringRes) {
 		log.Fatal("exactness violated: the two filters disagree")
 	}
-	fmt.Printf("\nnear-duplicates found (top 5 by distance):\n")
-	shown := 0
-	for dist := 0; dist <= tau && shown < 5; dist++ {
-		for _, id := range ringRes {
-			if bitvec.Hamming(db.Vector(id), query) == dist && shown < 5 {
-				fmt.Printf("  image %5d at distance %d\n", id, dist)
-				shown++
-			}
-		}
+
+	// Pagination: ask for the first 5 duplicates only. Shards that
+	// cannot contribute to that first page are abandoned mid-flight.
+	page, pageStats, err := ix.Search(ctx, q, engine.Options{Limit: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfirst page (limit 5, limited=%v):\n", pageStats.Limited)
+	for _, id := range page {
+		fmt.Printf("  image %5d at distance %d\n", id, bitvec.Hamming(vecs[id], query))
 	}
 }

@@ -1,0 +1,79 @@
+// Streaming, cancellable search with the engine's v2 API.
+//
+// A serving system rarely wants "all results, whenever you finish":
+// it wants the first page now, and it wants to stop paying for a
+// query the moment the client hangs up. This example demonstrates the
+// three v2 primitives on a sharded Hamming index:
+//
+//   - SearchSeq streams ids in ascending order while the shard
+//     fan-out is still running; breaking out of the loop cancels the
+//     remaining shards.
+//   - Options.Limit terminates a slice Search after the first k ids.
+//   - A context deadline abandons a search mid-fan-out and surfaces
+//     context.DeadlineExceeded.
+//
+// Run with:
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+)
+
+func main() {
+	log.SetFlags(0)
+	const n = 20000
+
+	vecs := dataset.GIST(n, 3)
+	ix, err := engine.BuildHamming(vecs, vecs[0].Dim()/16, 40, 16, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := engine.VectorQuery(vecs[17])
+	ctx := context.Background()
+
+	// Slice search: the reference answer.
+	all, st, err := ix.Search(ctx, q, engine.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index: %d vectors, 16 shards, τ = %v\n", ix.Len(), ix.Tau())
+	fmt.Printf("full search: %d results from %d candidates\n\n", len(all), st.Candidates)
+
+	// Streaming: consume the first 5 ids and hang up. The remaining
+	// shards are cancelled behind the break.
+	fmt.Println("first 5 via SearchSeq:")
+	got := 0
+	for id, err := range ix.SearchSeq(ctx, q, engine.Options{}) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  id %d\n", id)
+		if got++; got == 5 {
+			break
+		}
+	}
+
+	// Early termination without streaming: the slice API with a limit.
+	page, pst, err := ix.Search(ctx, q, engine.Options{Limit: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSearch with Limit 5: ids %v (limited=%v)\n", page, pst.Limited)
+
+	// Deadline: a search that cannot finish in a nanosecond reports
+	// context.DeadlineExceeded instead of burning the full fan-out.
+	dctx, cancel := context.WithTimeout(ctx, time.Nanosecond)
+	defer cancel()
+	_, _, err = ix.Search(dctx, q, engine.Options{})
+	fmt.Printf("\n1ns deadline: err = %v (deadline exceeded: %v)\n",
+		err, errors.Is(err, context.DeadlineExceeded))
+}

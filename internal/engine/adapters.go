@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"context"
 	"fmt"
+	"iter"
 	"math"
 	"time"
 
@@ -16,6 +18,12 @@ import (
 // recommendation (§8), 1 to the pigeonhole baseline, ≥ 2 to the ring
 // filter; every adapter clamps l into [1, m] exactly as the backends
 // do.
+//
+// The backends run each search as one uninterruptible pass, so an
+// adapter's cancellation points are the pass boundaries: on entry and
+// between the Timings pre-pass and the main pass. Finer-grained
+// cancellation comes from sharding, which turns one big pass into many
+// small ones with a context check between dispatches.
 
 // chain resolves the requested chain length against a default.
 func chain(requested, def int) int {
@@ -43,11 +51,16 @@ func toIDs(ids []int) []int64 {
 	return out
 }
 
-// timed runs the full search via fn with wall-clock measurement. When
-// timings are requested it first re-runs candidate generation alone
-// via filterOnly to observe the filter/verify split the backends
-// interleave.
-func timed(opt Options, filterOnly func() error, fn func() ([]int64, Stats, error)) ([]int64, Stats, error) {
+// timed runs the full search via fn with wall-clock measurement and
+// applies the cross-cutting Options the backends know nothing about:
+// the context is checked at every pass boundary, and Limit truncates
+// the ascending result list. When timings are requested it first
+// re-runs candidate generation alone via filterOnly to observe the
+// filter/verify split the backends interleave.
+func timed(ctx context.Context, opt Options, filterOnly func() error, fn func() ([]int64, Stats, error)) ([]int64, Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
+	}
 	wallStart := time.Now()
 	var filterNS int64
 	if opt.Timings && !opt.SkipVerify {
@@ -56,6 +69,9 @@ func timed(opt Options, filterOnly func() error, fn func() ([]int64, Stats, erro
 			return nil, Stats{}, err
 		}
 		filterNS = time.Since(start).Nanoseconds()
+		if err := ctx.Err(); err != nil {
+			return nil, Stats{}, err
+		}
 	}
 	fullStart := time.Now()
 	ids, st, err := fn()
@@ -63,6 +79,11 @@ func timed(opt Options, filterOnly func() error, fn func() ([]int64, Stats, erro
 		return nil, Stats{}, err
 	}
 	full := time.Since(fullStart).Nanoseconds()
+	if opt.Limit > 0 && len(ids) > opt.Limit {
+		ids = ids[:opt.Limit]
+		st.Limited = true
+		st.Results = len(ids)
+	}
 	// Wall/total cover the whole call, measurement pre-pass included,
 	// so the reported times match what a caller actually waited.
 	wall := time.Since(wallStart).Nanoseconds()
@@ -109,7 +130,11 @@ func (ix *hammingIndex) Problem() Problem { return Hamming }
 func (ix *hammingIndex) Len() int         { return ix.db.Len() }
 func (ix *hammingIndex) Tau() float64     { return float64(ix.tau) }
 
-func (ix *hammingIndex) Search(q Query, opt Options) ([]int64, Stats, error) {
+func (ix *hammingIndex) SearchSeq(ctx context.Context, q Query, opt Options) iter.Seq2[int64, error] {
+	return collectSeq(ctx, ix, q, opt)
+}
+
+func (ix *hammingIndex) Search(ctx context.Context, q Query, opt Options) ([]int64, Stats, error) {
 	if err := checkKind(q, Hamming); err != nil {
 		return nil, Stats{}, err
 	}
@@ -135,7 +160,7 @@ func (ix *hammingIndex) Search(q Query, opt Options) ([]int64, Stats, error) {
 		_, _, err := ix.db.Search(q.vec, tau, skip)
 		return err
 	}
-	return timed(opt, filterOnly, func() ([]int64, Stats, error) {
+	return timed(ctx, opt, filterOnly, func() ([]int64, Stats, error) {
 		ids, st, err := ix.db.Search(q.vec, tau, hopt)
 		if err != nil {
 			return nil, Stats{}, err
@@ -168,7 +193,11 @@ func (ix *setIndex) Problem() Problem { return Set }
 func (ix *setIndex) Len() int         { return ix.db.Len() }
 func (ix *setIndex) Tau() float64     { return ix.db.Config().Tau }
 
-func (ix *setIndex) Search(q Query, opt Options) ([]int64, Stats, error) {
+func (ix *setIndex) SearchSeq(ctx context.Context, q Query, opt Options) iter.Seq2[int64, error] {
+	return collectSeq(ctx, ix, q, opt)
+}
+
+func (ix *setIndex) Search(ctx context.Context, q Query, opt Options) ([]int64, Stats, error) {
 	if err := checkKind(q, Set); err != nil {
 		return nil, Stats{}, err
 	}
@@ -189,7 +218,7 @@ func (ix *setIndex) Search(q Query, opt Options) ([]int64, Stats, error) {
 		_, err := ix.db.CountCandidates(q.set, l)
 		return err
 	}
-	return timed(opt, filterOnly, func() ([]int64, Stats, error) {
+	return timed(ctx, opt, filterOnly, func() ([]int64, Stats, error) {
 		if opt.SkipVerify {
 			st, err := ix.db.CountCandidates(q.set, l)
 			if err != nil {
@@ -224,7 +253,11 @@ func (ix *stringIndex) Problem() Problem { return String }
 func (ix *stringIndex) Len() int         { return ix.db.Len() }
 func (ix *stringIndex) Tau() float64     { return float64(ix.db.Tau()) }
 
-func (ix *stringIndex) Search(q Query, opt Options) ([]int64, Stats, error) {
+func (ix *stringIndex) SearchSeq(ctx context.Context, q Query, opt Options) iter.Seq2[int64, error] {
+	return collectSeq(ctx, ix, q, opt)
+}
+
+func (ix *stringIndex) Search(ctx context.Context, q Query, opt Options) ([]int64, Stats, error) {
 	if err := checkKind(q, String); err != nil {
 		return nil, Stats{}, err
 	}
@@ -244,7 +277,7 @@ func (ix *stringIndex) Search(q Query, opt Options) ([]int64, Stats, error) {
 		_, _, err := ix.db.Search(q.str, skip)
 		return err
 	}
-	return timed(opt, filterOnly, func() ([]int64, Stats, error) {
+	return timed(ctx, opt, filterOnly, func() ([]int64, Stats, error) {
 		ids, st, err := ix.db.Search(q.str, sopt)
 		if err != nil {
 			return nil, Stats{}, err
@@ -276,7 +309,11 @@ func (ix *graphIndex) Problem() Problem { return Graph }
 func (ix *graphIndex) Len() int         { return ix.db.Len() }
 func (ix *graphIndex) Tau() float64     { return float64(ix.db.Tau()) }
 
-func (ix *graphIndex) Search(q Query, opt Options) ([]int64, Stats, error) {
+func (ix *graphIndex) SearchSeq(ctx context.Context, q Query, opt Options) iter.Seq2[int64, error] {
+	return collectSeq(ctx, ix, q, opt)
+}
+
+func (ix *graphIndex) Search(ctx context.Context, q Query, opt Options) ([]int64, Stats, error) {
 	if err := checkKind(q, Graph); err != nil {
 		return nil, Stats{}, err
 	}
@@ -296,7 +333,7 @@ func (ix *graphIndex) Search(q Query, opt Options) ([]int64, Stats, error) {
 		_, _, err := ix.db.Search(q.g, skip)
 		return err
 	}
-	return timed(opt, filterOnly, func() ([]int64, Stats, error) {
+	return timed(ctx, opt, filterOnly, func() ([]int64, Stats, error) {
 		ids, st, err := ix.db.Search(q.g, gopt)
 		if err != nil {
 			return nil, Stats{}, err

@@ -1,6 +1,10 @@
 package engine
 
-import "repro/internal/parallel"
+import (
+	"context"
+
+	"repro/internal/parallel"
+)
 
 // BatchResult holds the outcome of one query of a batch.
 type BatchResult struct {
@@ -14,14 +18,30 @@ type BatchResult struct {
 // additionally fans each query across its shards, so total parallelism
 // is the product of the two pools. Indexes are immutable and searches
 // keep scratch per call, so workers share idx safely. workers ≤ 0
-// selects GOMAXPROCS. Results are positionally aligned with queries;
-// per-query failures land in BatchResult.Err without aborting the
-// batch.
-func SearchBatch(idx Index, queries []Query, opt Options, workers int) []BatchResult {
+// selects GOMAXPROCS.
+//
+// Results are positionally aligned with queries; per-query failures
+// land in BatchResult.Err without aborting the batch. Context failure
+// does abort it: once ctx fails, no further queries are dispatched,
+// in-flight ones are drained (their own ctx error lands in their
+// slot), and every query that never ran gets ctx's error. With an
+// unfailed ctx the results are id-identical to calling Search per
+// query.
+func SearchBatch(ctx context.Context, idx Index, queries []Query, opt Options, workers int) []BatchResult {
 	out := make([]BatchResult, len(queries))
-	parallel.ForEach(len(queries), workers, func(i int) {
-		ids, st, err := idx.Search(queries[i], opt)
+	ran := make([]bool, len(queries))
+	parallel.ForEachCtx(ctx, len(queries), workers, func(jobCtx context.Context, i int) error {
+		ids, st, err := idx.Search(jobCtx, queries[i], opt)
 		out[i] = BatchResult{IDs: ids, Stats: st, Err: err}
+		ran[i] = true
+		return nil
 	})
+	if err := ctx.Err(); err != nil {
+		for i := range out {
+			if !ran[i] {
+				out[i] = BatchResult{Err: err}
+			}
+		}
+	}
 	return out
 }

@@ -19,8 +19,13 @@ import (
 // not.
 
 // chunks splits n items into the given number of nearly equal
-// contiguous ranges, clamping the shard count into [1, n].
+// contiguous ranges, clamping the shard count into [1, n]. n = 0
+// yields no ranges (rather than dividing by the clamped-to-zero shard
+// count).
 func chunks(n, shards int) [][2]int {
+	if n == 0 {
+		return nil
+	}
 	if shards < 1 {
 		shards = 1
 	}

@@ -1,0 +1,57 @@
+package engine
+
+import "testing"
+
+// TestChunksEdgeCases pins the shard-range splitter on its boundary
+// inputs: more shards than items, non-positive shard counts, and an
+// empty input. Every output must be a contiguous, gapless cover of
+// [0, n) with no empty range.
+func TestChunksEdgeCases(t *testing.T) {
+	check := func(n, shards, wantLen int) {
+		t.Helper()
+		got := chunks(n, shards)
+		if len(got) != wantLen {
+			t.Fatalf("chunks(%d, %d) = %d ranges, want %d", n, shards, len(got), wantLen)
+		}
+		pos := 0
+		for i, r := range got {
+			if r[0] != pos {
+				t.Fatalf("chunks(%d, %d) range %d starts at %d, want %d", n, shards, i, r[0], pos)
+			}
+			if r[1] <= r[0] {
+				t.Fatalf("chunks(%d, %d) range %d = %v is empty", n, shards, i, r)
+			}
+			pos = r[1]
+		}
+		if pos != n {
+			t.Fatalf("chunks(%d, %d) covers [0, %d), want [0, %d)", n, shards, pos, n)
+		}
+	}
+
+	check(10, 3, 3)
+	check(1, 1, 1)
+	// shards > n clamps to one item per shard.
+	check(5, 64, 5)
+	check(1, 2, 1)
+	// shards < 1 clamps to a single shard.
+	check(7, 0, 1)
+	check(7, -3, 1)
+	// n = 0 yields no ranges at all (builders reject empty databases
+	// before ever splitting them).
+	if got := chunks(0, 4); len(got) != 0 {
+		t.Fatalf("chunks(0, 4) = %v, want empty", got)
+	}
+
+	// Near-equal split: sizes differ by at most one and larger ranges
+	// come first.
+	ranges := chunks(11, 4)
+	sizes := make([]int, len(ranges))
+	for i, r := range ranges {
+		sizes[i] = r[1] - r[0]
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] > sizes[i-1] || sizes[i-1]-sizes[i] > 1 {
+			t.Fatalf("chunks(11, 4) sizes %v not near-equal descending", sizes)
+		}
+	}
+}

@@ -9,13 +9,28 @@
 // The layer adds what the single-problem packages deliberately leave
 // out:
 //
+//   - Context-aware search: every Search and SearchSeq takes a
+//     context.Context, so a serving system can abandon wasted
+//     verification work when a client disconnects or a deadline
+//     expires. Cancellation is checked between search passes and, on a
+//     sharded index, between shard dispatches; a single backend pass is
+//     the unit of non-interruptible work, so deployments wanting prompt
+//     cancellation shard their indexes.
+//   - Early termination: Options.Limit stops a search after the first
+//     k ascending ids; a sharded index abandons shards that can no
+//     longer contribute to the first k.
+//   - Streaming: SearchSeq yields ids one at a time as an
+//     iter.Seq2[int64, error]; a sharded index streams each shard's
+//     results as soon as the shard (and all before it) completes, and
+//     breaking out of the loop cancels the remaining shards.
 //   - Sharded: a composite Index that partitions the database into N
 //     contiguous shards, fans every query out across a worker pool
-//     (parallel.ForEachErr), and merges per-shard Stats into an
+//     (parallel.ForEachCtx), and merges per-shard Stats into an
 //     aggregate. Because every shard holds a contiguous id range and
 //     every backend returns exact, ascending results, concatenating the
 //     shard outputs reproduces the unsharded result id-for-id.
-//   - SearchBatch: cross-query parallelism over any Index.
+//   - SearchBatch: cross-query parallelism over any Index, cancelling
+//     undispatched queries when the context fails.
 //   - Stats: a common work/timing report with per-shard breakdown and
 //     optional filter/verify time split.
 //
@@ -25,7 +40,10 @@
 package engine
 
 import (
+	"context"
 	"fmt"
+	"iter"
+	"strings"
 
 	"repro/internal/bitvec"
 	"repro/internal/graph"
@@ -50,13 +68,14 @@ const (
 	Graph Problem = "graph"
 )
 
-// ParseProblem maps a user-supplied name to a Problem.
+// ParseProblem maps a user-supplied name to a Problem. Matching is
+// case-insensitive and ignores surrounding whitespace.
 func ParseProblem(s string) (Problem, error) {
-	switch Problem(s) {
+	switch p := Problem(strings.ToLower(strings.TrimSpace(s))); p {
 	case Hamming, Set, String, Graph:
-		return Problem(s), nil
+		return p, nil
 	}
-	return "", fmt.Errorf("engine: unknown problem %q (want hamming, set, string or graph)", s)
+	return "", fmt.Errorf("engine: unknown problem %q (valid names: hamming, set, string, graph)", s)
 }
 
 // Query is the typed query encoding shared by every backend: exactly
@@ -101,8 +120,8 @@ func (q Query) Text() string { return q.str }
 func (q Query) Graph() *graph.Graph { return q.g }
 
 // Options tune a single engine search. The zero value asks for the
-// index defaults: its build-time τ and the paper's recommended chain
-// length.
+// index defaults: its build-time τ, the paper's recommended chain
+// length, and no result limit.
 type Options struct {
 	// Tau overrides the threshold when non-nil (nil keeps the index
 	// default; a pointer distinguishes an explicit τ=0 — exact-match
@@ -115,6 +134,13 @@ type Options struct {
 	// baseline (GPH, pkwise, Pivotal, Pars); l ≥ 2 enables the ring
 	// filter.
 	ChainLength int
+	// Limit, when > 0, stops the search after the first Limit results
+	// in ascending id order — the returned ids are exactly the first
+	// min(Limit, total) ids of the unlimited search. A sharded index
+	// abandons shards that can no longer contribute to the first Limit
+	// ids; Stats.Limited reports whether any results were cut off.
+	// ≤ 0 means unlimited.
+	Limit int
 	// SkipVerify stops after candidate generation; Stats are filled
 	// but no results are returned.
 	SkipVerify bool
@@ -137,8 +163,19 @@ type Index interface {
 	// Tau returns the index's default threshold.
 	Tau() float64
 	// Search returns the ids of all objects within the threshold of q,
-	// in ascending order, along with search statistics.
-	Search(q Query, opt Options) ([]int64, Stats, error)
+	// in ascending order, along with search statistics. It returns
+	// ctx.Err() when the context fails before the search completes; a
+	// single backend pass is the unit of non-interruptible work, so a
+	// plain adapter checks the context between passes while a sharded
+	// index additionally stops dispatching shards.
+	Search(ctx context.Context, q Query, opt Options) ([]int64, Stats, error)
+	// SearchSeq is the streaming variant of Search: it yields result
+	// ids in ascending order, then stops. A non-nil error is yielded
+	// exactly once, as the final pair, with an undefined id. Breaking
+	// out of the loop abandons the remaining work (a sharded index
+	// cancels its in-flight shard fan-out). No Stats are produced;
+	// use Search when counters matter.
+	SearchSeq(ctx context.Context, q Query, opt Options) iter.Seq2[int64, error]
 }
 
 // Tau wraps a threshold value for Options.Tau.
@@ -153,4 +190,27 @@ func checkKind(q Query, p Problem) error {
 		return fmt.Errorf("engine: %s query sent to %s index", q.kind, p)
 	}
 	return nil
+}
+
+// collectSeq adapts a blocking Search into the SearchSeq contract for
+// the plain adapters: the backend runs to completion (one backend pass
+// is not interruptible), then the ids are yielded one at a time with
+// the context checked between yields.
+func collectSeq(ctx context.Context, ix Index, q Query, opt Options) iter.Seq2[int64, error] {
+	return func(yield func(int64, error) bool) {
+		ids, _, err := ix.Search(ctx, q, opt)
+		if err != nil {
+			yield(0, err)
+			return
+		}
+		for _, id := range ids {
+			if err := ctx.Err(); err != nil {
+				yield(0, err)
+				return
+			}
+			if !yield(id, nil) {
+				return
+			}
+		}
+	}
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -119,11 +120,11 @@ func TestShardedMatchesUnsharded(t *testing.T) {
 			}
 			for _, opt := range []Options{{}, {ChainLength: 1}} {
 				for qi, q := range tc.queries {
-					want, wantStats, err := tc.unsharded.Search(q, opt)
+					want, wantStats, err := tc.unsharded.Search(context.Background(), q, opt)
 					if err != nil {
 						t.Fatal(err)
 					}
-					got, gotStats, err := tc.sharded.Search(q, opt)
+					got, gotStats, err := tc.sharded.Search(context.Background(), q, opt)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -166,7 +167,7 @@ func TestAdapterMatchesBackend(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, gotStats, err := hix.Search(VectorQuery(q), Options{})
+	got, gotStats, err := hix.Search(context.Background(), VectorQuery(q), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestAdapterMatchesBackend(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotS, _, err := six.Search(SetQuery(sets[3]), Options{})
+	gotS, _, err := six.Search(context.Background(), SetQuery(sets[3]), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestAdapterMatchesBackend(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotT, _, err := tix.Search(StringQuery(strs[5]), Options{})
+	gotT, _, err := tix.Search(context.Background(), StringQuery(strs[5]), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +236,7 @@ func TestAdapterMatchesBackend(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotG, _, err := gix.Search(GraphQuery(graphs[2]), Options{})
+	gotG, _, err := gix.Search(context.Background(), GraphQuery(graphs[2]), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,10 +251,10 @@ func TestQueryKindMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := ix.Search(StringQuery("nope"), Options{}); err == nil {
+	if _, _, err := ix.Search(context.Background(), StringQuery("nope"), Options{}); err == nil {
 		t.Fatal("string query against hamming index did not error")
 	}
-	if _, _, err := ix.Search(Query{}, Options{}); err == nil {
+	if _, _, err := ix.Search(context.Background(), Query{}, Options{}); err == nil {
 		t.Fatal("empty query did not error")
 	}
 }
@@ -273,7 +274,7 @@ func TestTauOverride(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := ix.Search(VectorQuery(q), Options{Tau: Tau(40)})
+	got, _, err := ix.Search(context.Background(), VectorQuery(q), Options{Tau: Tau(40)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,13 +282,13 @@ func TestTauOverride(t *testing.T) {
 		t.Fatalf("τ override ids %v, want %v", got, want)
 	}
 
-	if _, _, err := ix.Search(VectorQuery(q), Options{Tau: Tau(23.9)}); err == nil {
+	if _, _, err := ix.Search(context.Background(), VectorQuery(q), Options{Tau: Tau(23.9)}); err == nil {
 		t.Fatal("fractional hamming τ accepted")
 	}
-	if _, _, err := ix.Search(VectorQuery(q), Options{Tau: Tau(-1)}); err == nil {
+	if _, _, err := ix.Search(context.Background(), VectorQuery(q), Options{Tau: Tau(-1)}); err == nil {
 		t.Fatal("negative hamming τ accepted")
 	}
-	if _, _, err := ix.Search(VectorQuery(q), Options{Tau: Tau(1e12)}); err == nil {
+	if _, _, err := ix.Search(context.Background(), VectorQuery(q), Options{Tau: Tau(1e12)}); err == nil {
 		t.Fatal("τ beyond the vector dimension accepted")
 	}
 	// An explicit τ=0 is an exact-match search, distinct from "unset".
@@ -295,7 +296,7 @@ func TestTauOverride(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotExact, _, err := ix.Search(VectorQuery(q), Options{Tau: Tau(0)})
+	gotExact, _, err := ix.Search(context.Background(), VectorQuery(q), Options{Tau: Tau(0)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,11 +310,11 @@ func TestTauOverride(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, _, err = six.Search(SetQuery(sets[0]), Options{Tau: Tau(0.5)})
+	_, _, err = six.Search(context.Background(), SetQuery(sets[0]), Options{Tau: Tau(0.5)})
 	if err == nil || !strings.Contains(err.Error(), "built for") {
 		t.Fatalf("set τ override err = %v, want built-for error", err)
 	}
-	if _, _, err := six.Search(SetQuery(sets[0]), Options{Tau: Tau(0.8)}); err != nil {
+	if _, _, err := six.Search(context.Background(), SetQuery(sets[0]), Options{Tau: Tau(0.8)}); err != nil {
 		t.Fatalf("matching τ rejected: %v", err)
 	}
 }
@@ -321,7 +322,7 @@ func TestTauOverride(t *testing.T) {
 func TestSearchBatchAlignsWithSingle(t *testing.T) {
 	for _, tc := range buildCases(t, 3) {
 		t.Run(tc.name, func(t *testing.T) {
-			batch := SearchBatch(tc.sharded, tc.queries, Options{}, 4)
+			batch := SearchBatch(context.Background(), tc.sharded, tc.queries, Options{}, 4)
 			if len(batch) != len(tc.queries) {
 				t.Fatalf("batch returned %d results for %d queries", len(batch), len(tc.queries))
 			}
@@ -329,7 +330,7 @@ func TestSearchBatchAlignsWithSingle(t *testing.T) {
 				if r.Err != nil {
 					t.Fatal(r.Err)
 				}
-				want, _, err := tc.unsharded.Search(tc.queries[i], Options{})
+				want, _, err := tc.unsharded.Search(context.Background(), tc.queries[i], Options{})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -347,7 +348,7 @@ func TestTimings(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, st, err := ix.Search(VectorQuery(vecs[3]), Options{Timings: true})
+	_, st, err := ix.Search(context.Background(), VectorQuery(vecs[3]), Options{Timings: true})
 	if err != nil {
 		t.Fatal(err)
 	}

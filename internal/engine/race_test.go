@@ -6,6 +6,7 @@ package engine
 // per-call scratch need no locking.
 
 import (
+	"context"
 	"sync"
 	"testing"
 )
@@ -18,7 +19,7 @@ func TestConcurrentMixedSearches(t *testing.T) {
 	for ci, tc := range cases {
 		want[ci] = make([][]int64, len(tc.queries))
 		for qi, q := range tc.queries {
-			ids, _, err := tc.unsharded.Search(q, Options{})
+			ids, _, err := tc.unsharded.Search(context.Background(), q, Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -40,7 +41,7 @@ func TestConcurrentMixedSearches(t *testing.T) {
 				if g%2 == 0 {
 					// Single searches, one query at a time.
 					for qi, q := range tc.queries {
-						ids, _, err := tc.sharded.Search(q, Options{})
+						ids, _, err := tc.sharded.Search(context.Background(), q, Options{})
 						if err != nil {
 							errs <- err
 							return
@@ -51,7 +52,7 @@ func TestConcurrentMixedSearches(t *testing.T) {
 					}
 				} else {
 					// Whole batch at once.
-					for bi, br := range SearchBatch(tc.sharded, tc.queries, Options{}, 2) {
+					for bi, br := range SearchBatch(context.Background(), tc.sharded, tc.queries, Options{}, 2) {
 						if br.Err != nil {
 							errs <- br.Err
 							return

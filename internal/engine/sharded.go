@@ -1,7 +1,11 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"iter"
+	"sync"
 	"time"
 
 	"repro/internal/parallel"
@@ -14,6 +18,13 @@ import (
 // output in ascending global id order — every backend returns exact,
 // sorted results, so the concatenation is id-for-id identical to
 // searching one unsharded index over the whole database.
+//
+// The fan-out is context-aware: once ctx fails, no new shards are
+// dispatched and the in-flight ones are drained before Search returns
+// the context's error, so cancellation never leaks goroutines. With
+// Options.Limit set, the fan-out additionally self-cancels as soon as
+// a prefix of completed shards already holds the first Limit ids, so
+// later shards' filtering and verification work is abandoned.
 //
 // Sharded is immutable after NewSharded and safe for concurrent use:
 // shards are themselves immutable and fan-out state is per call.
@@ -64,41 +75,168 @@ func (s *Sharded) Tau() float64 { return s.shards[0].Tau() }
 func (s *Sharded) Shards() int { return len(s.shards) }
 
 // Search fans q out to every shard and merges the results. The
-// returned Stats aggregate all shards (TotalNS sums shard CPU time,
-// WallNS is the end-to-end clock) and carry the per-shard breakdown
-// in PerShard.
-func (s *Sharded) Search(q Query, opt Options) ([]int64, Stats, error) {
+// returned Stats aggregate all searched shards (TotalNS sums shard CPU
+// time, WallNS is the end-to-end clock) and carry the per-shard
+// breakdown in PerShard. When ctx fails mid-search, undispatched
+// shards are skipped, in-flight ones drained, and ctx's error
+// returned. With Options.Limit, shards beyond a completed prefix that
+// already covers the limit are abandoned and Stats.Limited is set.
+func (s *Sharded) Search(ctx context.Context, q Query, opt Options) ([]int64, Stats, error) {
 	if err := checkKind(q, s.problem); err != nil {
 		return nil, Stats{}, err
 	}
 	start := time.Now()
-	ids := make([][]int64, len(s.shards))
-	perShard := make([]Stats, len(s.shards))
-	err := parallel.ForEachErr(len(s.shards), s.workers, func(i int) error {
-		shardIDs, st, err := s.shards[i].Search(q, opt)
+	n := len(s.shards)
+	ids := make([][]int64, n)
+	perShard := make([]Stats, n)
+	searched := make([]bool, n)
+
+	// With a limit, the fan-out runs under a child context that is
+	// cancelled as soon as shards 0..j are all done and together hold
+	// at least Limit ids: every id of the first Limit lies in that
+	// prefix (shard order is ascending id order), so the remaining
+	// shards can only produce ids past the cutoff.
+	fanCtx := ctx
+	cancel := context.CancelFunc(func() {})
+	if opt.Limit > 0 {
+		fanCtx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+	var mu sync.Mutex
+	prefixDone, prefixCount := 0, 0
+
+	err := parallel.ForEachCtx(fanCtx, n, s.workers, func(jobCtx context.Context, i int) error {
+		shardIDs, st, err := s.shards[i].Search(jobCtx, q, opt)
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
 		for j := range shardIDs {
 			shardIDs[j] += s.offsets[i]
 		}
-		ids[i], perShard[i] = shardIDs, st
+		if opt.Limit > 0 {
+			mu.Lock()
+			ids[i], perShard[i], searched[i] = shardIDs, st, true
+			for prefixDone < n && searched[prefixDone] {
+				prefixCount += len(ids[prefixDone])
+				prefixDone++
+			}
+			if prefixCount >= opt.Limit {
+				cancel()
+			}
+			mu.Unlock()
+		} else {
+			ids[i], perShard[i], searched[i] = shardIDs, st, true
+		}
 		return nil
 	})
+	limited := false
 	if err != nil {
-		return nil, Stats{}, err
+		// Distinguish our own limit-triggered cancellation (a success:
+		// the prefix already holds the first Limit ids) from a caller
+		// cancellation or a genuine shard failure. A failed prefix
+		// shard can never satisfy the limit, so suppression is safe.
+		if opt.Limit > 0 && ctx.Err() == nil && errors.Is(err, context.Canceled) && prefixCount >= opt.Limit {
+			limited = true
+		} else {
+			return nil, Stats{}, err
+		}
 	}
+
 	var agg Stats
-	n := 0
-	for i, st := range perShard {
-		agg.merge(st)
-		n += len(ids[i])
+	for i := range perShard {
+		if searched[i] {
+			agg.merge(perShard[i])
+		}
 	}
-	out := make([]int64, 0, n)
-	for _, shardIDs := range ids {
-		out = append(out, shardIDs...)
+	nOut := 0
+	mergeUpto := n
+	if opt.Limit > 0 {
+		mergeUpto = prefixDone
+	}
+	for i := 0; i < mergeUpto; i++ {
+		nOut += len(ids[i])
+	}
+	out := make([]int64, 0, nOut)
+	for i := 0; i < mergeUpto; i++ {
+		out = append(out, ids[i]...)
+	}
+	if opt.Limit > 0 && len(out) > opt.Limit {
+		out = out[:opt.Limit]
+		limited = true
+	}
+	if limited {
+		agg.Limited = true
+		agg.Results = len(out)
 	}
 	agg.WallNS = time.Since(start).Nanoseconds()
 	agg.PerShard = perShard
 	return out, agg, nil
+}
+
+// SearchSeq streams q's results in ascending id order. Shards run
+// concurrently, but shard i's ids are yielded only after shards 0..i-1
+// have been fully yielded, preserving global order. Breaking out of
+// the loop (or a failing ctx) cancels the fan-out: undispatched shards
+// never run and in-flight ones are drained in the background. A
+// non-nil error — the context's or a shard's — is yielded exactly once
+// as the final pair.
+func (s *Sharded) SearchSeq(ctx context.Context, q Query, opt Options) iter.Seq2[int64, error] {
+	return func(yield func(int64, error) bool) {
+		if err := checkKind(q, s.problem); err != nil {
+			yield(0, err)
+			return
+		}
+		seqCtx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		n := len(s.shards)
+		// One single-result channel per shard, buffered so a producing
+		// shard never blocks on a consumer that has moved on.
+		out := make([]chan []int64, n)
+		for i := range out {
+			out[i] = make(chan []int64, 1)
+		}
+		var fanErr error
+		go func() {
+			// fanErr is written before the channels close, and a
+			// consumer reads it only after observing a closed channel,
+			// so the handoff is ordered.
+			fanErr = parallel.ForEachCtx(seqCtx, n, s.workers, func(jobCtx context.Context, i int) error {
+				shardIDs, _, err := s.shards[i].Search(jobCtx, q, opt)
+				if err != nil {
+					return fmt.Errorf("shard %d: %w", i, err)
+				}
+				for j := range shardIDs {
+					shardIDs[j] += s.offsets[i]
+				}
+				out[i] <- shardIDs
+				return nil
+			})
+			for i := range out {
+				close(out[i])
+			}
+		}()
+		yielded := 0
+		for i := 0; i < n; i++ {
+			shardIDs, ok := <-out[i]
+			if !ok {
+				// The fan-out stopped before this shard delivered:
+				// a shard failed or the context did.
+				err := fanErr
+				if err == nil {
+					err = context.Canceled
+				}
+				yield(0, err)
+				return
+			}
+			for _, id := range shardIDs {
+				if !yield(id, nil) {
+					return
+				}
+				yielded++
+				if opt.Limit > 0 && yielded >= opt.Limit {
+					return
+				}
+			}
+		}
+	}
 }

@@ -31,6 +31,13 @@ type Stats struct {
 	// WallNS is the end-to-end wall-clock time of the call, the
 	// Timings pre-pass included.
 	WallNS int64 `json:"wallNs"`
+	// Limited reports that Options.Limit cut the search short: results
+	// beyond the limit were dropped, and on a sharded index shards that
+	// could no longer contribute may have been abandoned (their
+	// PerShard entries are zero). When set, Results counts only the
+	// returned ids while the work counters cover the work actually
+	// performed.
+	Limited bool `json:"limited,omitempty"`
 	// PerShard holds the per-shard breakdown when the index is
 	// sharded; nil for a plain adapter.
 	PerShard []Stats `json:"perShard,omitempty"`

@@ -1,12 +1,13 @@
-// Package parallel provides the tiny worker-pool primitive the search
-// systems use for batch queries. The paper evaluates single-threaded
-// implementations; batching queries across cores is the natural
-// production extension and leaves per-query semantics untouched, since
-// every index in this module is immutable after construction and every
-// Search keeps its scratch per call.
+// Package parallel provides the tiny worker-pool primitives the search
+// systems use for batch queries and shard fan-out. The paper evaluates
+// single-threaded implementations; batching queries across cores is the
+// natural production extension and leaves per-query semantics
+// untouched, since every index in this module is immutable after
+// construction and every Search keeps its scratch per call.
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -29,6 +30,24 @@ func ForEach(n, workers int, job func(i int)) {
 // returned, so the result is deterministic even under races between
 // concurrent failures. A nil return means every job ran and succeeded.
 func ForEachErr(n, workers int, job func(i int) error) error {
+	return ForEachCtx(context.Background(), n, workers, func(_ context.Context, i int) error {
+		return job(i)
+	})
+}
+
+// ForEachCtx is the context-aware variant of ForEachErr: job(ctx, i)
+// runs for every i in [0, n) on a pool of the given size until a job
+// fails or ctx is done. Cancellation stops dispatch — no new jobs start
+// once ctx is done — and every job receives ctx so long-running jobs
+// can observe the cancellation themselves; jobs already running are
+// always drained before ForEachCtx returns, so no goroutine outlives
+// the call.
+//
+// Error precedence is deterministic: the error of the lowest-indexed
+// failed job wins; if no job failed but cancellation stopped dispatch
+// before every job ran, ctx.Err() is returned. A nil return means every
+// job ran and succeeded.
+func ForEachCtx(ctx context.Context, n, workers int, job func(ctx context.Context, i int) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -37,7 +56,10 @@ func ForEachErr(n, workers int, job func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := job(i); err != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := job(ctx, i); err != nil {
 				return err
 			}
 		}
@@ -56,7 +78,7 @@ func ForEachErr(n, workers int, job func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				if err := job(i); err != nil {
+				if err := job(ctx, i); err != nil {
 					failed.Store(true)
 					mu.Lock()
 					if i < firstIdx {
@@ -67,10 +89,28 @@ func ForEachErr(n, workers int, job func(i int) error) error {
 			}
 		}()
 	}
+	dispatched := 0
+dispatch:
 	for i := 0; i < n && !failed.Load(); i++ {
-		next <- i
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			break dispatch
+		case next <- i:
+			dispatched++
+		}
 	}
 	close(next)
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	if dispatched < n {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -113,5 +114,77 @@ func TestForEachErrStopsDispatchAfterFailure(t *testing.T) {
 func TestForEachErrZeroJobs(t *testing.T) {
 	if err := ForEachErr(0, 4, func(i int) error { return errors.New("ran") }); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestForEachCtxRunsAllJobsWithLiveContext(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 100} {
+		var count atomic.Int64
+		err := ForEachCtx(context.Background(), 57, workers, func(ctx context.Context, i int) error {
+			if ctx == nil {
+				t.Error("job received a nil context")
+			}
+			count.Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		if count.Load() != 57 {
+			t.Fatalf("workers=%d: ran %d of 57 jobs", workers, count.Load())
+		}
+	}
+}
+
+func TestForEachCtxPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		err := ForEachCtx(ctx, 100, workers, func(ctx context.Context, i int) error {
+			t.Errorf("workers=%d: job %d ran on a dead context", workers, i)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+func TestForEachCtxCancelStopsDispatch(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := ForEachCtx(ctx, 100000, workers, func(ctx context.Context, i int) error {
+			ran.Add(1)
+			if i == 0 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() == 100000 {
+			t.Fatalf("workers=%d: dispatched every job despite cancellation", workers)
+		}
+	}
+}
+
+func TestForEachCtxJobErrorBeatsCancellation(t *testing.T) {
+	// A job failure and a cancellation can race; the lowest-indexed
+	// job error must still win deterministically.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	err := ForEachCtx(ctx, 1000, 4, func(ctx context.Context, i int) error {
+		if i == 2 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
 	}
 }

@@ -6,8 +6,9 @@
 // The API is versioned under /v1:
 //
 //	POST /v1/load          {"problem":"hamming","n":5000,"shards":4,...}
-//	POST /v1/search        {"problem":"hamming","queryId":17,"l":6,...}
+//	POST /v1/search        {"problem":"hamming","queryId":17,"limit":10,"timeout_ms":50,...}
 //	POST /v1/search/batch  {"problem":"set","queryIds":[1,2,3],...}
+//	GET  /v1/indexes
 //	GET  /v1/stats
 //	GET  /v1/healthz
 //
@@ -15,13 +16,25 @@
 // atomically. Searches are lock-free after entry lookup — engine
 // indexes are immutable — so any number of requests may run
 // concurrently, each fanning out across the index's shards.
+//
+// Every search runs under the HTTP request's context: a client that
+// disconnects abandons the search mid-fan-out instead of burning
+// verification work nobody will read. "timeout_ms" adds a per-request
+// deadline on top (bounded by the server's default when one is
+// configured); an expired deadline answers 504 with a machine-readable
+// {"code":"deadline_exceeded"} payload. "limit" stops a search after
+// the first k ascending ids. /v1/stats surfaces cancelled and limited
+// query counts per problem.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,6 +51,7 @@ import (
 // statistics. Create it with New and mount Handler on an http.Server.
 type Server struct {
 	workers int
+	timeout time.Duration
 	started time.Time
 
 	mu      sync.RWMutex
@@ -58,6 +72,8 @@ type entry struct {
 
 	queries    atomic.Int64
 	errors     atomic.Int64
+	cancelled  atomic.Int64
+	limited    atomic.Int64
 	candidates atomic.Int64
 	results    atomic.Int64
 	filterNS   atomic.Int64
@@ -67,9 +83,13 @@ type entry struct {
 
 // New creates an empty server. workers caps the per-query shard
 // fan-out and the per-batch query parallelism; ≤ 0 selects GOMAXPROCS.
-func New(workers int) *Server {
+// timeout is the default per-search deadline applied when a request
+// carries no timeout_ms of its own; 0 disables it. Requests may ask
+// for a shorter deadline but never a longer one.
+func New(workers int, timeout time.Duration) *Server {
 	return &Server{
 		workers: workers,
+		timeout: timeout,
 		started: time.Now(),
 		entries: make(map[engine.Problem]*entry),
 	}
@@ -81,6 +101,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/load", s.handleLoad)
 	mux.HandleFunc("POST /v1/search", s.handleSearch)
 	mux.HandleFunc("POST /v1/search/batch", s.handleSearchBatch)
+	mux.HandleFunc("GET /v1/indexes", s.handleIndexes)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -423,6 +444,15 @@ type SearchRequest struct {
 	// L is the pigeonring chain length: 0 the paper's recommendation,
 	// 1 the pigeonhole baseline, ≥ 2 the ring filter.
 	L int `json:"l,omitempty"`
+	// Limit stops the search after the first Limit results in
+	// ascending id order; 0 means unlimited. A sharded index abandons
+	// shards that cannot contribute to the first Limit ids.
+	Limit int `json:"limit,omitempty"`
+	// TimeoutMS puts a deadline on the search, in milliseconds; an
+	// exceeded deadline answers 504 with code "deadline_exceeded".
+	// 0 falls back to the server's default timeout (if configured);
+	// the effective deadline is never longer than that default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
 	// SkipVerify stops after candidate generation.
 	SkipVerify bool `json:"skipVerify,omitempty"`
 	// Timings measures the filter/verify time split (runs candidate
@@ -508,6 +538,7 @@ func (req *SearchRequest) options() engine.Options {
 	return engine.Options{
 		Tau:         req.Tau,
 		ChainLength: req.L,
+		Limit:       req.Limit,
 		SkipVerify:  req.SkipVerify,
 		Timings:     req.Timings,
 	}
@@ -516,6 +547,9 @@ func (req *SearchRequest) options() engine.Options {
 // record folds one search outcome into the entry's live counters.
 func (e *entry) record(st engine.Stats) {
 	e.queries.Add(1)
+	if st.Limited {
+		e.limited.Add(1)
+	}
 	e.candidates.Add(int64(st.Candidates))
 	e.results.Add(int64(st.Results))
 	e.filterNS.Add(st.FilterNS)
@@ -523,9 +557,57 @@ func (e *entry) record(st engine.Stats) {
 	e.wallNS.Add(st.WallNS)
 }
 
+// statusClientClosedRequest is nginx's non-standard code for "the
+// client went away before the response was ready" — nobody reads the
+// body, but access logs distinguish abandoned searches from failures.
+const statusClientClosedRequest = 499
+
+// searchContext derives the context one search runs under: the HTTP
+// request's context (client disconnect cancels the search), bounded by
+// the request's timeout_ms or, when that is absent or larger, the
+// server's default timeout.
+func (s *Server) searchContext(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	timeout := s.timeout
+	if reqTimeout := time.Duration(timeoutMS) * time.Millisecond; reqTimeout > 0 && (timeout == 0 || reqTimeout < timeout) {
+		timeout = reqTimeout
+	}
+	if timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), timeout)
+}
+
+// writeSearchError answers a failed search, mapping context failures
+// to their own statuses and counters: an exceeded deadline is 504 with
+// a distinguishable {"code":"deadline_exceeded"} payload, a
+// disconnected client 499, anything else a plain 400.
+func writeSearchError(w http.ResponseWriter, e *entry, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		e.cancelled.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, map[string]string{
+			"error": fmt.Sprintf("search abandoned: %v", err),
+			"code":  "deadline_exceeded",
+		})
+	case errors.Is(err, context.Canceled):
+		e.cancelled.Add(1)
+		writeJSON(w, statusClientClosedRequest, map[string]string{
+			"error": fmt.Sprintf("search abandoned: %v", err),
+			"code":  "cancelled",
+		})
+	default:
+		e.errors.Add(1)
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var req SearchRequest
 	if !decode(w, r, &req) {
+		return
+	}
+	if req.Limit < 0 || req.TimeoutMS < 0 {
+		writeError(w, http.StatusBadRequest, "limit and timeout_ms must be non-negative")
 		return
 	}
 	e, p, ok := s.lookup(w, req.Problem)
@@ -537,10 +619,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ids, st, err := e.index.Search(q, req.options())
+	ctx, cancel := s.searchContext(r, req.TimeoutMS)
+	defer cancel()
+	ids, st, err := e.index.Search(ctx, q, req.options())
 	if err != nil {
-		e.errors.Add(1)
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeSearchError(w, e, err)
 		return
 	}
 	e.record(st)
@@ -552,7 +635,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 // --- /v1/search/batch --------------------------------------------------------
 
-// BatchRequest addresses many dataset queries at once.
+// BatchRequest addresses many dataset queries at once. Limit applies
+// per query; TimeoutMS bounds the whole batch — once it expires, the
+// remaining queries are cancelled and carry a per-item error.
 type BatchRequest struct {
 	Problem  string `json:"problem"`
 	QueryIDs []int  `json:"queryIds"`
@@ -560,6 +645,8 @@ type BatchRequest struct {
 	Workers    int      `json:"workers,omitempty"`
 	Tau        *float64 `json:"tau,omitempty"`
 	L          int      `json:"l,omitempty"`
+	Limit      int      `json:"limit,omitempty"`
+	TimeoutMS  int      `json:"timeout_ms,omitempty"`
 	SkipVerify bool     `json:"skipVerify,omitempty"`
 	Timings    bool     `json:"timings,omitempty"`
 }
@@ -581,6 +668,10 @@ type BatchResponse struct {
 func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
 	if !decode(w, r, &req) {
+		return
+	}
+	if req.Limit < 0 || req.TimeoutMS < 0 {
+		writeError(w, http.StatusBadRequest, "limit and timeout_ms must be non-negative")
 		return
 	}
 	e, p, ok := s.lookup(w, req.Problem)
@@ -605,22 +696,82 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		queries[i] = q
 	}
-	opt := engine.Options{Tau: req.Tau, ChainLength: req.L, SkipVerify: req.SkipVerify, Timings: req.Timings}
-	batch := engine.SearchBatch(e.index, queries, opt, req.Workers)
+	ctx, cancel := s.searchContext(r, req.TimeoutMS)
+	defer cancel()
+	opt := engine.Options{Tau: req.Tau, ChainLength: req.L, Limit: req.Limit, SkipVerify: req.SkipVerify, Timings: req.Timings}
+	batch := engine.SearchBatch(ctx, e.index, queries, opt, req.Workers)
 	resp := BatchResponse{Problem: string(p), Results: make([]BatchItem, len(batch))}
+	deadlined := false
 	for i, br := range batch {
 		item := BatchItem{IDs: br.IDs, Stats: br.Stats}
 		if item.IDs == nil {
 			item.IDs = []int64{}
 		}
-		if br.Err != nil {
+		switch {
+		case br.Err == nil:
+			e.record(br.Stats)
+		case errors.Is(br.Err, context.Canceled) || errors.Is(br.Err, context.DeadlineExceeded):
+			item.Error = br.Err.Error()
+			e.cancelled.Add(1)
+			deadlined = deadlined || errors.Is(br.Err, context.DeadlineExceeded)
+		default:
 			item.Error = br.Err.Error()
 			e.errors.Add(1)
-		} else {
-			e.record(br.Stats)
 		}
 		resp.Results[i] = item
 	}
+	// A batch the deadline actually cut short gets the same
+	// distinguishable payload a single search does; partial results
+	// are still attached so the caller can keep what finished. The
+	// per-item errors decide the status, not ctx.Err() — a deadline
+	// that fires after the last query finished is no failure.
+	if deadlined {
+		writeJSON(w, http.StatusGatewayTimeout, map[string]any{
+			"error":   "batch deadline exceeded",
+			"code":    "deadline_exceeded",
+			"results": resp.Results,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- /v1/indexes -------------------------------------------------------------
+
+// IndexInfo describes one loaded index.
+type IndexInfo struct {
+	Problem string  `json:"problem"`
+	Dataset string  `json:"dataset"`
+	N       int     `json:"n"`
+	Tau     float64 `json:"tau"`
+	Shards  int     `json:"shards"`
+	BuildMS float64 `json:"buildMs"`
+}
+
+// IndexesResponse is the /v1/indexes payload, sorted by problem name.
+type IndexesResponse struct {
+	Indexes []IndexInfo `json:"indexes"`
+}
+
+func (s *Server) handleIndexes(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	resp := IndexesResponse{Indexes: make([]IndexInfo, 0, len(s.entries))}
+	for p, e := range s.entries {
+		shards := 1
+		if sh, ok := e.index.(*engine.Sharded); ok {
+			shards = sh.Shards()
+		}
+		resp.Indexes = append(resp.Indexes, IndexInfo{
+			Problem: string(p),
+			Dataset: e.dataset,
+			N:       e.index.Len(),
+			Tau:     e.index.Tau(),
+			Shards:  shards,
+			BuildMS: e.buildMS,
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(resp.Indexes, func(i, j int) bool { return resp.Indexes[i].Problem < resp.Indexes[j].Problem })
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -635,6 +786,8 @@ type ProblemStats struct {
 	BuildMS    float64 `json:"buildMs"`
 	Queries    int64   `json:"queries"`
 	Errors     int64   `json:"errors"`
+	Cancelled  int64   `json:"cancelled"`
+	Limited    int64   `json:"limited"`
 	Candidates int64   `json:"candidates"`
 	Results    int64   `json:"results"`
 	FilterMS   float64 `json:"filterMs"`
@@ -672,6 +825,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			BuildMS:    e.buildMS,
 			Queries:    e.queries.Load(),
 			Errors:     e.errors.Load(),
+			Cancelled:  e.cancelled.Load(),
+			Limited:    e.limited.Load(),
 			Candidates: e.candidates.Load(),
 			Results:    e.results.Load(),
 			FilterMS:   float64(e.filterNS.Load()) / 1e6,

@@ -2,9 +2,11 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/dataset"
@@ -21,7 +23,12 @@ type harness struct {
 
 func newHarness(t *testing.T) *harness {
 	t.Helper()
-	ts := httptest.NewServer(New(0).Handler())
+	return newHarnessServer(t, New(0, 0))
+}
+
+func newHarnessServer(t *testing.T, s *Server) *harness {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return &harness{t: t, srv: ts}
 }
@@ -142,7 +149,7 @@ func TestServesAllFourProblems(t *testing.T) {
 			case "graph":
 				q = engine.GraphQuery(graphs[qi])
 			}
-			want, _, err := local[problem].Search(q, engine.Options{})
+			want, _, err := local[problem].Search(context.Background(), q, engine.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -191,7 +198,7 @@ func TestInlineQueries(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := h.search(SearchRequest{Problem: "hamming", Vector: vecs[7].String()})
-	want, _, err := hix.Search(engine.VectorQuery(vecs[7]), engine.Options{})
+	want, _, err := hix.Search(context.Background(), engine.VectorQuery(vecs[7]), engine.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +215,7 @@ func TestInlineQueries(t *testing.T) {
 	}
 	q := strs[9]
 	got = h.search(SearchRequest{Problem: "string", String: &q})
-	want, _, err = six.Search(engine.StringQuery(q), engine.Options{})
+	want, _, err = six.Search(context.Background(), engine.StringQuery(q), engine.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +231,7 @@ func TestInlineQueries(t *testing.T) {
 		t.Fatal(err)
 	}
 	got = h.search(SearchRequest{Problem: "set", Set: sets[11]})
-	want, _, err = setix.Search(engine.SetQuery(sets[11]), engine.Options{})
+	want, _, err = setix.Search(context.Background(), engine.SetQuery(sets[11]), engine.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +255,7 @@ func TestInlineQueries(t *testing.T) {
 		spec.Edges = append(spec.Edges, [3]int{e.U, e.V, int(e.Label)})
 	}
 	got = h.search(SearchRequest{Problem: "graph", Graph: &spec})
-	want, _, err = gix.Search(engine.GraphQuery(g), engine.Options{})
+	want, _, err = gix.Search(context.Background(), engine.GraphQuery(g), engine.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -381,6 +388,126 @@ func TestErrorPaths(t *testing.T) {
 	// Health.
 	if code := h.get("/v1/healthz", nil); code != http.StatusOK {
 		t.Fatalf("healthz: status %d", code)
+	}
+}
+
+// TestIndexesEndpoint: GET /v1/indexes lists every loaded index with
+// its problem, size and τ, sorted by problem name.
+func TestIndexesEndpoint(t *testing.T) {
+	h := newHarness(t)
+
+	var empty IndexesResponse
+	if code := h.get("/v1/indexes", &empty); code != http.StatusOK {
+		t.Fatalf("indexes on empty server: status %d", code)
+	}
+	if len(empty.Indexes) != 0 {
+		t.Fatalf("empty server lists %d indexes", len(empty.Indexes))
+	}
+
+	h.load(LoadRequest{Problem: "hamming", N: 100, Seed: 1, Shards: 2})
+	h.load(LoadRequest{Problem: "graph", N: 20, Seed: 1, Tau: engine.Tau(3)})
+
+	var resp IndexesResponse
+	if code := h.get("/v1/indexes", &resp); code != http.StatusOK {
+		t.Fatalf("indexes: status %d", code)
+	}
+	if len(resp.Indexes) != 2 {
+		t.Fatalf("listed %d indexes, want 2", len(resp.Indexes))
+	}
+	if resp.Indexes[0].Problem != "graph" || resp.Indexes[1].Problem != "hamming" {
+		t.Fatalf("indexes not sorted by problem: %+v", resp.Indexes)
+	}
+	g, hm := resp.Indexes[0], resp.Indexes[1]
+	if g.N != 20 || g.Tau != 3 || g.Shards != 1 || g.Dataset != "aids" {
+		t.Fatalf("graph info %+v", g)
+	}
+	if hm.N != 100 || hm.Tau != 24 || hm.Shards != 2 || hm.Dataset != "gist" {
+		t.Fatalf("hamming info %+v", hm)
+	}
+}
+
+// TestSearchLimit: "limit" returns the prefix of the unlimited ids and
+// shows up in the per-problem limited counter.
+func TestSearchLimit(t *testing.T) {
+	h := newHarness(t)
+	h.load(LoadRequest{Problem: "hamming", N: 400, Seed: 8, Shards: 3, Tau: engine.Tau(40)})
+
+	qi := 3
+	full := h.search(SearchRequest{Problem: "hamming", QueryID: &qi})
+	if len(full.IDs) < 2 {
+		t.Fatalf("query %d has only %d results; too few to exercise limit", qi, len(full.IDs))
+	}
+	k := len(full.IDs) / 2
+	limited := h.search(SearchRequest{Problem: "hamming", QueryID: &qi, Limit: k})
+	if !sameIDs(limited.IDs, full.IDs[:k]) {
+		t.Fatalf("limit %d ids %v, want %v", k, limited.IDs, full.IDs[:k])
+	}
+	if !limited.Stats.Limited {
+		t.Fatal("limited response did not set stats.limited")
+	}
+
+	var st StatsResponse
+	h.get("/v1/stats", &st)
+	if got := st.Problems["hamming"].Limited; got != 1 {
+		t.Fatalf("limited counter = %d, want 1", got)
+	}
+	if code, _ := h.post("/v1/search", SearchRequest{Problem: "hamming", QueryID: &qi, Limit: -1}, nil); code != http.StatusBadRequest {
+		t.Fatalf("negative limit: status %d, want 400", code)
+	}
+}
+
+// TestSearchDeadline: an unmeetable timeout_ms answers 504 with the
+// distinguishable deadline_exceeded code and bumps the cancelled
+// counter. The server runs with one fan-out worker, so its 64 graph
+// shards are searched strictly in sequence with a context check
+// before each; tens of milliseconds of GED work give a 1 ms deadline
+// ample room to fire at one of those checks even when a saturated
+// single-CPU runner delays the context's timer by a scheduling
+// quantum.
+func TestSearchDeadline(t *testing.T) {
+	h := newHarnessServer(t, New(1, 0))
+	h.load(LoadRequest{Problem: "graph", N: 4000, Seed: 9, Shards: 64})
+
+	qi := 1
+	code, body := h.post("/v1/search", SearchRequest{Problem: "graph", QueryID: &qi, TimeoutMS: 1}, nil)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("deadline search: status %d body %s, want 504", code, body)
+	}
+	if !strings.Contains(body, `"code":"deadline_exceeded"`) {
+		t.Fatalf("deadline payload %s lacks deadline_exceeded code", body)
+	}
+
+	var st StatsResponse
+	h.get("/v1/stats", &st)
+	if got := st.Problems["graph"].Cancelled; got != 1 {
+		t.Fatalf("cancelled counter = %d, want 1", got)
+	}
+	if got := st.Problems["graph"].Errors; got != 0 {
+		t.Fatalf("deadline counted as error: errors = %d", got)
+	}
+
+	// Batch under an unmeetable deadline: whole-batch 504, same code.
+	code, body = h.post("/v1/search/batch", BatchRequest{Problem: "graph", QueryIDs: []int{0, 1, 2}, TimeoutMS: 1}, nil)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("deadline batch: status %d body %s, want 504", code, body)
+	}
+	if !strings.Contains(body, `"code":"deadline_exceeded"`) {
+		t.Fatalf("batch deadline payload %s lacks deadline_exceeded code", body)
+	}
+	if code, _ := h.post("/v1/search", SearchRequest{Problem: "graph", QueryID: &qi, TimeoutMS: -5}, nil); code != http.StatusBadRequest {
+		t.Fatalf("negative timeout_ms: status %d, want 400", code)
+	}
+}
+
+// TestProblemNamesNormalized: the API accepts any casing and
+// surrounding whitespace on problem names.
+func TestProblemNamesNormalized(t *testing.T) {
+	h := newHarness(t)
+	h.load(LoadRequest{Problem: "Hamming", N: 80, Seed: 1})
+	qi := 2
+	got := h.search(SearchRequest{Problem: " HAMMING ", QueryID: &qi})
+	if got.Problem != "hamming" {
+		t.Fatalf("normalized problem = %q, want hamming", got.Problem)
 	}
 }
 
