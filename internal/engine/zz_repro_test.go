@@ -1,0 +1,49 @@
+package engine
+
+import (
+	"context"
+	"iter"
+	"testing"
+)
+
+type stubIndex struct {
+	ids []int64
+	n   int
+}
+
+func (s *stubIndex) Problem() Problem { return Hamming }
+func (s *stubIndex) Len() int         { return s.n }
+func (s *stubIndex) Tau() float64     { return 1 }
+func (s *stubIndex) Search(ctx context.Context, q Query, opt Options) ([]int64, Stats, error) {
+	ids := append([]int64(nil), s.ids...)
+	st := Stats{Results: len(ids)}
+	if opt.Limit > 0 && len(ids) > opt.Limit {
+		ids = ids[:opt.Limit]
+		st.Limited = true
+		st.Results = len(ids)
+	}
+	return ids, st, nil
+}
+func (s *stubIndex) SearchSeq(ctx context.Context, q Query, opt Options) iter.Seq2[int64, error] {
+	return collectSeq(ctx, s, q, opt)
+}
+
+func TestReproLimitedFlag(t *testing.T) {
+	// shard 0 has 10 matches, shard 1 has none. Limit 5: the true
+	// result set (10 ids) is cut to 5, so Limited must be true.
+	sh0 := &stubIndex{ids: []int64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, n: 20}
+	sh1 := &stubIndex{ids: nil, n: 20}
+	s, err := NewSharded([]Index{sh0, sh1}, 1) // workers=1: sequential, both shards run before cancel check
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{kind: Hamming}
+	ids, st, err := s.Search(context.Background(), q, Options{Limit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("ids=%v limited=%v results=%d", ids, st.Limited, st.Results)
+	if !st.Limited {
+		t.Errorf("Stats.Limited = false, want true (10 matches cut to 5)")
+	}
+}
