@@ -12,6 +12,7 @@ package repro
 // harness.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -19,6 +20,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/hamming"
 	"repro/internal/setsim"
@@ -498,6 +500,95 @@ func BenchmarkAblationGraphPrefilter(b *testing.B) {
 	b.Run("no-prefilter", func(b *testing.B) {
 		benchGraphSearch(b, db, gs, qs, graph.Options{Ring: true, ChainLength: 2})
 	})
+}
+
+// --- Joins -------------------------------------------------------------------
+
+// Join benchmark workload sizes: a join runs one search per row, so
+// the corpora are smaller than the search benchmarks'.
+const (
+	benchJoinVecN   = 1000
+	benchJoinSetN   = 1000
+	benchJoinStrN   = 1000
+	benchJoinGraphN = 80
+)
+
+// BenchmarkJoin measures the engine's parallel all-pairs self-join per
+// backend at the paper's recommended chain length, seeding the perf
+// trajectory of the v3 join API. Each iteration joins the whole
+// corpus; pairs/op reports the (constant) result size.
+func BenchmarkJoin(b *testing.B) {
+	ctx := context.Background()
+	run := func(b *testing.B, ix engine.Index) {
+		b.Helper()
+		joiner, ok := ix.(engine.Joiner)
+		if !ok {
+			b.Fatalf("%T does not implement engine.Joiner", ix)
+		}
+		var pairs int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ps, _, err := joiner.Join(ctx, engine.JoinOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pairs = len(ps)
+		}
+		b.ReportMetric(float64(pairs), "pairs/op")
+	}
+	b.Run("hamming", func(b *testing.B) {
+		vecs := dataset.GIST(benchJoinVecN, benchSeed)
+		ix, err := engine.BuildHamming(vecs, vecs[0].Dim()/16, 24, 1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, ix)
+	})
+	b.Run("set", func(b *testing.B) {
+		sets := dataset.DBLP(benchJoinSetN, benchSeed)
+		ix, err := engine.BuildSet(sets, setsim.Config{Measure: setsim.Jaccard, Tau: 0.8, M: 5}, 1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, ix)
+	})
+	b.Run("string", func(b *testing.B) {
+		strs := dataset.IMDB(benchJoinStrN, benchSeed)
+		ix, err := engine.BuildString(strs, 2, 2, 1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, ix)
+	})
+	b.Run("graph", func(b *testing.B) {
+		graphs := dataset.AIDS(benchJoinGraphN, benchSeed)
+		ix, err := engine.BuildGraph(graphs, 3, 1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, ix)
+	})
+}
+
+// BenchmarkJoinSharded contrasts the sharded join against the
+// unsharded BenchmarkJoin/set at equal data: pair output is identical,
+// the row-block fan-out and per-row shard skipping change the cost.
+func BenchmarkJoinSharded(b *testing.B) {
+	ctx := context.Background()
+	sets := dataset.DBLP(benchJoinSetN, benchSeed)
+	for _, shards := range []int{1, 4} {
+		ix, err := engine.BuildSet(sets, setsim.Config{Measure: setsim.Jaccard, Tau: 0.8, M: 5}, shards, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("set/shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ix.(engine.Joiner).Join(ctx, engine.JoinOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkVerifiers measures the raw verification kernels that

@@ -1,20 +1,26 @@
-// Command pigeonring demonstrates the four τ-selection searches on
-// synthetic data from the command line, comparing the pigeonhole
-// baseline against the pigeonring filter through the unified engine
-// layer.
+// Command pigeonring demonstrates the four τ-selection similarity
+// workloads on synthetic data from the command line, comparing the
+// pigeonhole baseline against the pigeonring filter through the
+// unified engine layer.
 //
 // Usage:
 //
-//	pigeonring -problem hamming|set|string|graph [-n 5000] [-tau τ] [-l chain]
-//	           [-queries 10] [-shards 1] [-limit 0]
+//	pigeonring -problem hamming|set|string|graph [-mode search|join]
+//	           [-n 5000] [-tau τ] [-l chain] [-queries 10] [-shards 1]
+//	           [-limit 0]
 //
-// For each sampled query it prints the result count and the candidate
-// counts of the baseline (l = 1) and the pigeonring filter, plus the
-// timing totals. -shards fans each query out across an engine.Sharded
-// index; -limit stops each search after its first k ids (early
-// termination). Ctrl-C cancels the run mid-query: every search runs
-// under a signal-bound context, so an interrupted sweep stops at the
-// next shard boundary instead of finishing the whole batch.
+// In search mode (the default), for each sampled query it prints the
+// result count and the candidate counts of the baseline (l = 1) and
+// the pigeonring filter, plus the timing totals. In join mode it
+// self-joins the whole database — the all-pairs workload behind dedup
+// and entity resolution — once with the baseline filter and once with
+// the ring filter, and reports pairs, candidates and the speedup.
+// -shards fans searches (and join row blocks) out across an
+// engine.Sharded index; -limit stops each search after its first k
+// ids, or the join after its first k pairs. Ctrl-C cancels the run
+// mid-query: everything runs under a signal-bound context, so an
+// interrupted sweep stops at the next row or shard boundary instead
+// of finishing the whole batch.
 package main
 
 import (
@@ -36,6 +42,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pigeonring: ")
 	problem := flag.String("problem", "hamming", "hamming | set | string | graph")
+	mode := flag.String("mode", "search", "search | join (all-pairs self-join)")
 	n := flag.Int("n", 5000, "database size")
 	tau := flag.Float64("tau", -1, "threshold (defaults per problem)")
 	l := flag.Int("l", 0, "chain length (defaults to the paper's tuning)")
@@ -55,6 +62,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *mode != "search" && *mode != "join" {
+		log.Printf("unknown mode %q (want search or join)", *mode)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	ix, queriesQ, err := build(p, *n, *tau, *shards, *seed)
 	if err != nil {
 		log.Fatal(err)
@@ -62,6 +75,10 @@ func main() {
 	baseName := map[engine.Problem]string{
 		engine.Hamming: "GPH", engine.Set: "pkwise", engine.String: "Pivotal", engine.Graph: "Pars",
 	}[p]
+	if *mode == "join" {
+		runJoin(ctx, ix, p, baseName, *l, *limit, *shards)
+		return
+	}
 	fmt.Printf("%s search: n=%d τ=%g shards=%d l=%d (0 = paper default)\n",
 		p, ix.Len(), ix.Tau(), *shards, *l)
 
@@ -86,6 +103,48 @@ func main() {
 		t.results += len(res)
 	}
 	t.report(baseName, len(sampled))
+}
+
+// runJoin self-joins the database twice — pigeonhole baseline, then
+// ring filter — and reports the pair count, candidate totals and the
+// speedup, mirroring the search-mode tally.
+func runJoin(ctx context.Context, ix engine.Index, p engine.Problem, baseName string, l, limit, shards int) {
+	joiner, ok := ix.(engine.Joiner)
+	if !ok {
+		log.Fatalf("%T does not support joins", ix)
+	}
+	fmt.Printf("%s self-join: n=%d τ=%g shards=%d l=%d (0 = paper default)\n",
+		p, ix.Len(), ix.Tau(), shards, l)
+
+	_, bst, err := joiner.Join(ctx, engine.JoinOptions{ChainLength: 1, Limit: limit})
+	if stopOnCancel(err) {
+		return
+	}
+	pairs, rst, err := joiner.Join(ctx, engine.JoinOptions{ChainLength: l, Limit: limit})
+	if stopOnCancel(err) {
+		return
+	}
+	baseMS := float64(bst.WallNS) / 1e6
+	ringMS := float64(rst.WallNS) / 1e6
+	speedup := "n/a"
+	if ringMS > 0 {
+		speedup = fmt.Sprintf("%.2fx", baseMS/ringMS)
+	}
+	fmt.Printf("\n%-12s candidates: %d\n", baseName, bst.Candidates)
+	fmt.Printf("%-12s candidates: %d\n", "Ring", rst.Candidates)
+	fmt.Printf("pairs: %d (row blocks: %d", len(pairs), rst.JoinBlocks)
+	if rst.Limited {
+		fmt.Printf(", limited to first %d", limit)
+	}
+	fmt.Printf(")\n")
+	for i, pr := range pairs {
+		if i == 10 {
+			fmt.Printf("  … %d more\n", len(pairs)-i)
+			break
+		}
+		fmt.Printf("  (%d, %d)\n", pr.I, pr.J)
+	}
+	fmt.Printf("join time: %s %.3fms, Ring %.3fms (speedup %s)\n", baseName, baseMS, ringMS, speedup)
 }
 
 // stopOnCancel distinguishes a Ctrl-C abort (clean exit) from a real

@@ -19,15 +19,18 @@
 //	    -d '{"problem":"hamming","queryId":17,"limit":10,"timeout_ms":50}'
 //	curl -s -X POST localhost:8080/v1/search/batch \
 //	    -d '{"problem":"hamming","queryIds":[1,2,3]}'
+//	curl -s -X POST localhost:8080/v1/join \
+//	    -d '{"problem":"hamming","limit":50,"timeout_ms":5000}'
 //	curl -s localhost:8080/v1/indexes
 //	curl -s localhost:8080/v1/stats
 //
-// Every search runs under its HTTP request's context: disconnecting
-// clients abandon their searches, "timeout_ms" adds a per-request
-// deadline (504 + {"code":"deadline_exceeded"} when it fires), and
-// -search-timeout caps every search server-side. "limit" stops a
-// search after the first k ids. /v1/stats counts cancelled and limited
-// queries per problem.
+// Every search and join runs under its HTTP request's context:
+// disconnecting clients abandon their work, "timeout_ms" adds a
+// per-request deadline (504 + {"code":"deadline_exceeded"} when it
+// fires), and -search-timeout caps every search and join server-side.
+// "limit" stops a search after the first k ids, or a join after its
+// first k pairs. /v1/stats counts cancelled and limited queries plus
+// join and pair totals per problem.
 //
 // The process shuts down gracefully on SIGINT/SIGTERM, draining
 // in-flight requests before exiting.
@@ -52,7 +55,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "per-query shard fan-out and batch parallelism (0 = GOMAXPROCS)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
-	searchTimeout := flag.Duration("search-timeout", 0, "default per-search deadline; requests may shorten it via timeout_ms (0 = none)")
+	searchTimeout := flag.Duration("search-timeout", 0, "default per-search/join deadline; requests may shorten it via timeout_ms (0 = none)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

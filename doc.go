@@ -16,9 +16,14 @@
 // context-cancellable with Options.Limit early termination — a
 // sharded composite that fans queries out across a worker pool and
 // abandons shards on cancellation or a satisfied limit, and a batch
-// API parallelizing across queries. server exposes that layer over
+// API parallelizing across queries. Every built index also implements
+// the Joiner capability — Join(ctx, opt) and the streaming JoinSeq,
+// the all-pairs self-join behind dedup and entity resolution, answered
+// by row-block decomposition over the same pool with sharded output
+// pair-identical to unsharded. server exposes that layer over
 // HTTP/JSON (request-scoped contexts, limit/timeout_ms, cancelled and
-// limited counters); cmd/pigeonringd is the daemon serving it.
+// limited counters, /v1/join with join and pair totals);
+// cmd/pigeonringd is the daemon serving it.
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
 // substitutions, and EXPERIMENTS.md for paper-versus-measured results.

@@ -7,9 +7,11 @@ package repro
 // chain-length monotonicity).
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/hamming"
 	"repro/internal/setsim"
@@ -160,6 +162,76 @@ func TestIntegrationPaperIntroExample(t *testing.T) {
 	for _, want := range []string{"al-qaeda", "al-qaida", "al-qa'ida"} {
 		if !found[want] {
 			t.Errorf("spelling variant %q not found (results: %v)", want, res)
+		}
+	}
+}
+
+// TestIntegrationSelfJoin runs the paper's other headline workload end
+// to end: dedup via the engine's all-pairs self-join. The spelling
+// variants planted in the corpus must surface as pairs, identically on
+// a sharded and an unsharded index, with the backend's quadratic
+// reference join agreeing.
+func TestIntegrationSelfJoin(t *testing.T) {
+	names := append(dataset.IMDB(800, 5),
+		"al-qaeda", "al-qaida", "al-qa'ida")
+	dict, err := strdist.BuildGramDict(names, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := strdist.NewDB(names, dict, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := db.JoinLinear()
+
+	ctx := context.Background()
+	var prev []engine.Pair
+	for _, shards := range []int{1, 4} {
+		ix, err := engine.BuildString(names, 2, 2, shards, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, st, err := ix.(engine.Joiner).Join(ctx, engine.JoinOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("shards=%d: %d pairs, want %d", shards, len(got), len(ref))
+		}
+		for i, p := range ref {
+			if got[i] != (engine.Pair{I: int64(p.I), J: int64(p.J)}) {
+				t.Fatalf("shards=%d: pair %d = %v, want %v", shards, i, got[i], p)
+			}
+		}
+		if st.Pairs != len(ref) {
+			t.Fatalf("shards=%d: Stats.Pairs = %d, want %d", shards, st.Pairs, len(ref))
+		}
+		if prev != nil {
+			for i := range prev {
+				if got[i] != prev[i] {
+					t.Fatalf("shard counts disagree at pair %d: %v vs %v", i, got[i], prev[i])
+				}
+			}
+		}
+		prev = got
+	}
+
+	// The planted variants (the last three ids) all pair with each
+	// other: distances al-qaeda↔al-qaida = 1, ↔al-qa'ida = 2.
+	base := int64(len(names) - 3)
+	wantPairs := []engine.Pair{
+		{I: base, J: base + 1}, {I: base, J: base + 2}, {I: base + 1, J: base + 2},
+	}
+	for _, w := range wantPairs {
+		found := false
+		for _, p := range prev {
+			if p == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("variant pair %v missing from join output", w)
 		}
 	}
 }

@@ -126,9 +126,10 @@ func NewHamming(db *hamming.DB, defaultTau int) (Index, error) {
 	return &hammingIndex{db: db, tau: defaultTau}, nil
 }
 
-func (ix *hammingIndex) Problem() Problem { return Hamming }
-func (ix *hammingIndex) Len() int         { return ix.db.Len() }
-func (ix *hammingIndex) Tau() float64     { return float64(ix.tau) }
+func (ix *hammingIndex) Problem() Problem   { return Hamming }
+func (ix *hammingIndex) Len() int           { return ix.db.Len() }
+func (ix *hammingIndex) Tau() float64       { return float64(ix.tau) }
+func (ix *hammingIndex) object(i int) Query { return VectorQuery(ix.db.Vector(i)) }
 
 func (ix *hammingIndex) SearchSeq(ctx context.Context, q Query, opt Options) iter.Seq2[int64, error] {
 	return collectSeq(ctx, ix, q, opt)
@@ -189,9 +190,10 @@ func NewSet(db *setsim.PKWiseDB) (Index, error) {
 	return &setIndex{db: db}, nil
 }
 
-func (ix *setIndex) Problem() Problem { return Set }
-func (ix *setIndex) Len() int         { return ix.db.Len() }
-func (ix *setIndex) Tau() float64     { return ix.db.Config().Tau }
+func (ix *setIndex) Problem() Problem   { return Set }
+func (ix *setIndex) Len() int           { return ix.db.Len() }
+func (ix *setIndex) Tau() float64       { return ix.db.Config().Tau }
+func (ix *setIndex) object(i int) Query { return SetQuery(ix.db.Set(i)) }
 
 func (ix *setIndex) SearchSeq(ctx context.Context, q Query, opt Options) iter.Seq2[int64, error] {
 	return collectSeq(ctx, ix, q, opt)
@@ -249,9 +251,10 @@ func NewString(db *strdist.DB) (Index, error) {
 	return &stringIndex{db: db}, nil
 }
 
-func (ix *stringIndex) Problem() Problem { return String }
-func (ix *stringIndex) Len() int         { return ix.db.Len() }
-func (ix *stringIndex) Tau() float64     { return float64(ix.db.Tau()) }
+func (ix *stringIndex) Problem() Problem   { return String }
+func (ix *stringIndex) Len() int           { return ix.db.Len() }
+func (ix *stringIndex) Tau() float64       { return float64(ix.db.Tau()) }
+func (ix *stringIndex) object(i int) Query { return StringQuery(ix.db.String(i)) }
 
 func (ix *stringIndex) SearchSeq(ctx context.Context, q Query, opt Options) iter.Seq2[int64, error] {
 	return collectSeq(ctx, ix, q, opt)
@@ -305,9 +308,10 @@ func NewGraph(db *graph.DB) (Index, error) {
 	return &graphIndex{db: db}, nil
 }
 
-func (ix *graphIndex) Problem() Problem { return Graph }
-func (ix *graphIndex) Len() int         { return ix.db.Len() }
-func (ix *graphIndex) Tau() float64     { return float64(ix.db.Tau()) }
+func (ix *graphIndex) Problem() Problem   { return Graph }
+func (ix *graphIndex) Len() int           { return ix.db.Len() }
+func (ix *graphIndex) Tau() float64       { return float64(ix.db.Tau()) }
+func (ix *graphIndex) object(i int) Query { return GraphQuery(ix.db.Graph(i)) }
 
 func (ix *graphIndex) SearchSeq(ctx context.Context, q Query, opt Options) iter.Seq2[int64, error] {
 	return collectSeq(ctx, ix, q, opt)

@@ -31,8 +31,15 @@
 //     shard outputs reproduces the unsharded result id-for-id.
 //   - SearchBatch: cross-query parallelism over any Index, cancelling
 //     undispatched queries when the context fails.
-//   - Stats: a common work/timing report with per-shard breakdown and
-//     optional filter/verify time split.
+//   - Joins: every index built by this package additionally implements
+//     Joiner — the all-pairs self-join behind dedup and entity
+//     resolution, answered by row-block decomposition over the same
+//     worker pool, context-cancellable and limit-aware like a search,
+//     with a streaming JoinSeq. Sharded joins are pair-for-pair
+//     identical to unsharded ones.
+//   - Stats: a common work/timing report with per-shard breakdown,
+//     join counters (Pairs, JoinBlocks) and optional filter/verify
+//     time split.
 //
 // All indexes are immutable after construction and every Search keeps
 // its scratch per call, so a single Index may serve any number of

@@ -1,0 +1,308 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/pairs"
+	"repro/internal/parallel"
+)
+
+// The v3 join API makes the paper's second headline workload — the
+// all-pairs self-join behind dedup, entity resolution and record
+// matching — first-class in the engine, mirroring the v2 Search
+// contract: context-cancellable, limit-aware, with a streaming
+// variant.
+//
+// Every implementation follows the same row-block decomposition: the
+// id range [0, n) splits into contiguous blocks, each block self-joins
+// its rows against the full index on a parallel.ForEachCtx worker pool
+// (row i's search keeps only partners j < i, so each pair is produced
+// exactly once), and the merged pairs are sorted into ascending (I, J)
+// order. Because every backend search is exact, the parallel result is
+// pair-for-pair identical to the backends' sequential Join loops —
+// and, on a sharded index, to the unsharded join.
+//
+// Cancellation is checked between row searches inside each block and
+// between block dispatches, so a join over n rows aborts within one
+// backend pass of the context failing. JoinOptions.Limit trims the
+// output to the first Limit pairs of the (I, J) order; unlike a
+// search limit it cannot abandon work, because a late row's pairs may
+// sort arbitrarily early (row n−1 can produce pair (0, n−1)).
+
+// Pair is one unordered result pair of a self-join in the engine's
+// global id space, with I < J.
+type Pair struct {
+	I, J int64
+}
+
+// JoinOptions tune one engine self-join, mirroring the search Options.
+// The zero value asks for the index defaults: its build-time τ, the
+// paper's recommended chain length, and no pair limit.
+type JoinOptions struct {
+	// ChainLength is the pigeonring chain length l applied to every
+	// row's search. 0 selects the paper's per-problem recommendation;
+	// 1 runs the pigeonhole baseline; l ≥ 2 enables the ring filter.
+	ChainLength int
+	// Limit, when > 0, trims the join to its first Limit pairs in
+	// ascending (I, J) order — exactly the first min(Limit, total)
+	// pairs of the unlimited join. Stats.Limited reports a cut. ≤ 0
+	// means unlimited.
+	Limit int
+	// SkipVerify stops every row's search after candidate generation;
+	// Stats are filled but no pairs are returned.
+	SkipVerify bool
+	// Timings measures the aggregate filter/verify time split by
+	// running each row's candidate generation once more with
+	// verification off. It roughly doubles the join's filtering cost;
+	// leave it off on hot paths.
+	Timings bool
+}
+
+// Joiner is the self-join capability of an Index: every pair of
+// distinct indexed objects within the index's default threshold,
+// reported ascending by (I, J). Every index this package builds —
+// the four adapters and the Sharded composite over them — implements
+// it; callers holding a plain Index type-assert:
+//
+//	if j, ok := ix.(engine.Joiner); ok { pairs, st, err := j.Join(ctx, opt) }
+type Joiner interface {
+	// Join returns all result pairs in ascending (I, J) order along
+	// with aggregate statistics (Stats.Pairs, Stats.JoinBlocks). It
+	// returns ctx.Err() when the context fails before the join
+	// completes; cancellation is honored between row searches, so one
+	// backend pass is the unit of non-interruptible work.
+	Join(ctx context.Context, opt JoinOptions) ([]Pair, Stats, error)
+	// JoinSeq is the streaming variant of Join: it yields pairs in
+	// ascending (I, J) order, then stops. A non-nil error is yielded
+	// exactly once, as the final element, with a zero pair. The (I, J)
+	// order is only known once every row has been searched, so the
+	// join runs to completion before the first yield; breaking out of
+	// the loop stops the remaining yields. No Stats are produced; use
+	// Join when counters matter.
+	JoinSeq(ctx context.Context, opt JoinOptions) iter.Seq2[Pair, error]
+}
+
+// objectSource is the capability the join machinery needs from an
+// index: replaying indexed objects as queries. The four adapters
+// implement it; Sharded requires it of its shards to join.
+type objectSource interface {
+	object(i int) Query
+}
+
+// searchOptions maps join options onto the per-row search options.
+// Limit never propagates: a row must report every smaller-id partner,
+// however many pairs the caller wants in total.
+func (opt JoinOptions) searchOptions() Options {
+	return Options{
+		ChainLength: opt.ChainLength,
+		SkipVerify:  opt.SkipVerify,
+		Timings:     opt.Timings,
+	}
+}
+
+// joinBlockCount picks the row-block fan-out width: a few blocks per
+// worker so an uneven block finishes early without idling the pool,
+// but never more blocks than rows.
+func joinBlockCount(n, workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return min(n, workers*4)
+}
+
+// joinSelf is the shared row-block self-join: each ForEachCtx job
+// takes one contiguous block of rows, searches every row against the
+// full index via search, and keeps partners j < i. search receives
+// the row id so composite indexes can skip shards that hold only
+// larger ids. The merged pairs are sorted ascending by (I, J) and
+// trimmed to opt.Limit.
+func joinSelf(ctx context.Context, n, workers int, obj func(i int) Query, search func(ctx context.Context, row int, q Query, sopt Options) ([]int64, Stats, error), opt JoinOptions) ([]Pair, Stats, error) {
+	start := time.Now()
+	blocks := chunks(n, joinBlockCount(n, workers))
+	sopt := opt.searchOptions()
+	blockPairs := make([][]Pair, len(blocks))
+	blockStats := make([]Stats, len(blocks))
+	err := parallel.ForEachCtx(ctx, len(blocks), workers, func(jobCtx context.Context, b int) error {
+		var ps []Pair
+		var agg Stats
+		for i := blocks[b][0]; i < blocks[b][1]; i++ {
+			if err := jobCtx.Err(); err != nil {
+				return err
+			}
+			ids, st, err := search(jobCtx, i, obj(i), sopt)
+			if err != nil {
+				return fmt.Errorf("engine: join row %d: %w", i, err)
+			}
+			agg.merge(st)
+			for _, j := range ids {
+				if j >= int64(i) {
+					// ids ascend, and partners ≥ i pair up when their
+					// own (later) row is searched.
+					break
+				}
+				ps = append(ps, Pair{I: j, J: int64(i)})
+			}
+		}
+		blockPairs[b], blockStats[b] = ps, agg
+		return nil
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var agg Stats
+	nOut := 0
+	for b := range blocks {
+		agg.merge(blockStats[b])
+		nOut += len(blockPairs[b])
+	}
+	out := make([]Pair, 0, nOut)
+	for _, ps := range blockPairs {
+		out = append(out, ps...)
+	}
+	pairs.Sort(out)
+	if opt.Limit > 0 && len(out) > opt.Limit {
+		out = out[:opt.Limit]
+		agg.Limited = true
+	}
+	agg.Results = len(out)
+	agg.Pairs = len(out)
+	agg.JoinBlocks = len(blocks)
+	agg.WallNS = time.Since(start).Nanoseconds()
+	return out, agg, nil
+}
+
+// collectJoinSeq adapts a blocking Join into the JoinSeq contract:
+// the join runs to completion (its output order cannot be known
+// sooner), then pairs are yielded one at a time with the context
+// checked between yields.
+func collectJoinSeq(ctx context.Context, j Joiner, opt JoinOptions) iter.Seq2[Pair, error] {
+	return func(yield func(Pair, error) bool) {
+		ps, _, err := j.Join(ctx, opt)
+		if err != nil {
+			yield(Pair{}, err)
+			return
+		}
+		for _, p := range ps {
+			if err := ctx.Err(); err != nil {
+				yield(Pair{}, err)
+				return
+			}
+			if !yield(p, nil) {
+				return
+			}
+		}
+	}
+}
+
+// adapterJoin runs the row-block self-join of one plain adapter: the
+// adapter's own Search answers each row, and the fan-out width
+// defaults to GOMAXPROCS (a plain adapter has no worker knob; shard
+// the index to bound join parallelism).
+func adapterJoin(ctx context.Context, ix Index, src objectSource, opt JoinOptions) ([]Pair, Stats, error) {
+	return joinSelf(ctx, ix.Len(), 0, src.object,
+		func(jobCtx context.Context, _ int, q Query, sopt Options) ([]int64, Stats, error) {
+			return ix.Search(jobCtx, q, sopt)
+		}, opt)
+}
+
+// --- Adapter joins -----------------------------------------------------------
+
+func (ix *hammingIndex) Join(ctx context.Context, opt JoinOptions) ([]Pair, Stats, error) {
+	return adapterJoin(ctx, ix, ix, opt)
+}
+
+func (ix *hammingIndex) JoinSeq(ctx context.Context, opt JoinOptions) iter.Seq2[Pair, error] {
+	return collectJoinSeq(ctx, ix, opt)
+}
+
+func (ix *setIndex) Join(ctx context.Context, opt JoinOptions) ([]Pair, Stats, error) {
+	return adapterJoin(ctx, ix, ix, opt)
+}
+
+func (ix *setIndex) JoinSeq(ctx context.Context, opt JoinOptions) iter.Seq2[Pair, error] {
+	return collectJoinSeq(ctx, ix, opt)
+}
+
+func (ix *stringIndex) Join(ctx context.Context, opt JoinOptions) ([]Pair, Stats, error) {
+	return adapterJoin(ctx, ix, ix, opt)
+}
+
+func (ix *stringIndex) JoinSeq(ctx context.Context, opt JoinOptions) iter.Seq2[Pair, error] {
+	return collectJoinSeq(ctx, ix, opt)
+}
+
+func (ix *graphIndex) Join(ctx context.Context, opt JoinOptions) ([]Pair, Stats, error) {
+	return adapterJoin(ctx, ix, ix, opt)
+}
+
+func (ix *graphIndex) JoinSeq(ctx context.Context, opt JoinOptions) iter.Seq2[Pair, error] {
+	return collectJoinSeq(ctx, ix, opt)
+}
+
+// --- Sharded join ------------------------------------------------------------
+
+// Join self-joins the whole sharded database: row blocks fan out
+// across the worker pool, and each row queries the shards it can pair
+// with — shards holding only larger ids are skipped, since their
+// partners surface when those rows are searched. The output is
+// pair-for-pair identical to joining one unsharded index over the
+// whole database, for the same reason sharded search is id-identical:
+// every shard returns exact, ascending results.
+//
+// Joining requires shards built by this package (or any Index exposing
+// its objects to the engine); a foreign shard type fails with an
+// error.
+func (s *Sharded) Join(ctx context.Context, opt JoinOptions) ([]Pair, Stats, error) {
+	srcs := make([]objectSource, len(s.shards))
+	for i, sh := range s.shards {
+		src, ok := sh.(objectSource)
+		if !ok {
+			return nil, Stats{}, fmt.Errorf("engine: shard %d (%T) does not expose its objects; joins need shards built by this package", i, sh)
+		}
+		srcs[i] = src
+	}
+	obj := func(i int) Query {
+		k := s.shardOf(int64(i))
+		return srcs[k].object(i - int(s.offsets[k]))
+	}
+	search := func(jobCtx context.Context, row int, q Query, sopt Options) ([]int64, Stats, error) {
+		// The shards before and including row's own hold every id
+		// < row; later shards can only produce larger-id partners, so
+		// they are skipped. Within one row the shards run sequentially
+		// — the join's parallelism is across row blocks.
+		var ids []int64
+		var agg Stats
+		for k := 0; k <= s.shardOf(int64(row)); k++ {
+			if err := jobCtx.Err(); err != nil {
+				return nil, Stats{}, err
+			}
+			shardIDs, st, err := s.shards[k].Search(jobCtx, q, sopt)
+			if err != nil {
+				return nil, Stats{}, fmt.Errorf("shard %d: %w", k, err)
+			}
+			for j := range shardIDs {
+				shardIDs[j] += s.offsets[k]
+			}
+			ids = append(ids, shardIDs...)
+			agg.merge(st)
+		}
+		return ids, agg, nil
+	}
+	return joinSelf(ctx, s.total, s.workers, obj, search, opt)
+}
+
+// JoinSeq streams the sharded join's pairs; see Joiner.JoinSeq for the
+// contract.
+func (s *Sharded) JoinSeq(ctx context.Context, opt JoinOptions) iter.Seq2[Pair, error] {
+	return collectJoinSeq(ctx, s, opt)
+}
+
+// shardOf returns the index of the shard holding global id i.
+func (s *Sharded) shardOf(i int64) int {
+	return sort.Search(len(s.offsets), func(k int) bool { return s.offsets[k] > i }) - 1
+}

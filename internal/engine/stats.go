@@ -31,13 +31,20 @@ type Stats struct {
 	// WallNS is the end-to-end wall-clock time of the call, the
 	// Timings pre-pass included.
 	WallNS int64 `json:"wallNs"`
-	// Limited reports that Options.Limit cut the search short: results
-	// beyond the limit were dropped, and on a sharded index shards that
-	// could no longer contribute may have been abandoned (their
-	// PerShard entries are zero). When set, Results counts only the
-	// returned ids while the work counters cover the work actually
-	// performed.
+	// Limited reports that Options.Limit (or JoinOptions.Limit) cut
+	// the call short: results beyond the limit were dropped, and on a
+	// sharded search shards that could no longer contribute may have
+	// been abandoned (their PerShard entries are zero). When set,
+	// Results counts only the returned ids or pairs while the work
+	// counters cover the work actually performed.
 	Limited bool `json:"limited,omitempty"`
+	// Pairs is the number of result pairs a join returned; 0 for
+	// searches. It equals Results on a join and exists so mixed
+	// search/join aggregations can tell the two workloads apart.
+	Pairs int `json:"pairs,omitempty"`
+	// JoinBlocks is the number of contiguous row blocks a join's
+	// fan-out decomposed the database into; 0 for searches.
+	JoinBlocks int `json:"joinBlocks,omitempty"`
 	// PerShard holds the per-shard breakdown when the index is
 	// sharded; nil for a plain adapter.
 	PerShard []Stats `json:"perShard,omitempty"`

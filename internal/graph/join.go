@@ -1,6 +1,6 @@
 package graph
 
-import "sort"
+import "repro/internal/pairs"
 
 // Pair is an unordered result pair of a self-join, with I < J.
 type Pair struct {
@@ -11,7 +11,7 @@ type Pair struct {
 // ged(x, y) ≤ τ, ordered by (I, J) — the graph similarity join
 // setting, answered with the Pars or Ring filter depending on opt.
 func (db *DB) Join(opt Options) ([]Pair, Stats, error) {
-	var pairs []Pair
+	var out []Pair
 	var agg Stats
 	for i := 0; i < db.Len(); i++ {
 		res, st, err := db.Search(db.graphs[i], opt)
@@ -23,34 +23,25 @@ func (db *DB) Join(opt Options) ([]Pair, Stats, error) {
 		agg.BoxChecks += st.BoxChecks
 		for _, j := range res {
 			if j < i {
-				pairs = append(pairs, Pair{I: j, J: i})
+				out = append(out, Pair{I: j, J: i})
 			}
 		}
 	}
-	agg.Results = len(pairs)
-	sortPairs(pairs)
-	return pairs, agg, nil
+	agg.Results = len(out)
+	pairs.Sort(out)
+	return out, agg, nil
 }
 
 // JoinLinear is the quadratic reference join used by tests.
 func (db *DB) JoinLinear() []Pair {
-	var pairs []Pair
+	var out []Pair
 	for i := 0; i < db.Len(); i++ {
 		for j := 0; j < i; j++ {
 			if GEDWithin(db.graphs[i], db.graphs[j], db.tau) >= 0 {
-				pairs = append(pairs, Pair{I: j, J: i})
+				out = append(out, Pair{I: j, J: i})
 			}
 		}
 	}
-	sortPairs(pairs)
-	return pairs
-}
-
-func sortPairs(pairs []Pair) {
-	sort.Slice(pairs, func(a, b int) bool {
-		if pairs[a].I != pairs[b].I {
-			return pairs[a].I < pairs[b].I
-		}
-		return pairs[a].J < pairs[b].J
-	})
+	pairs.Sort(out)
+	return out
 }

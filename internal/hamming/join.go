@@ -1,6 +1,6 @@
 package hamming
 
-import "sort"
+import "repro/internal/pairs"
 
 // Pair is an unordered result pair of a self-join, with I < J.
 type Pair struct {
@@ -15,7 +15,7 @@ type Pair struct {
 // smaller id are kept, so every pair is produced exactly once and the
 // pigeonring filter applies unchanged.
 func (db *DB) Join(tau int, opt Options) ([]Pair, Stats, error) {
-	var pairs []Pair
+	var out []Pair
 	var agg Stats
 	for i := 0; i < db.Len(); i++ {
 		res, st, err := db.Search(db.vecs[i], tau, opt)
@@ -28,34 +28,25 @@ func (db *DB) Join(tau int, opt Options) ([]Pair, Stats, error) {
 		agg.BoxChecks += st.BoxChecks
 		for _, j := range res {
 			if j < i {
-				pairs = append(pairs, Pair{I: j, J: i})
+				out = append(out, Pair{I: j, J: i})
 			}
 		}
 	}
-	agg.Results = len(pairs)
-	sortPairs(pairs)
-	return pairs, agg, nil
+	agg.Results = len(out)
+	pairs.Sort(out)
+	return out, agg, nil
 }
 
 // JoinLinear is the quadratic reference join used by tests.
 func (db *DB) JoinLinear(tau int) []Pair {
-	var pairs []Pair
+	var out []Pair
 	for i := 0; i < db.Len(); i++ {
 		for _, j := range db.SearchLinear(db.vecs[i], tau) {
 			if j < i {
-				pairs = append(pairs, Pair{I: j, J: i})
+				out = append(out, Pair{I: j, J: i})
 			}
 		}
 	}
-	sortPairs(pairs)
-	return pairs
-}
-
-func sortPairs(pairs []Pair) {
-	sort.Slice(pairs, func(a, b int) bool {
-		if pairs[a].I != pairs[b].I {
-			return pairs[a].I < pairs[b].I
-		}
-		return pairs[a].J < pairs[b].J
-	})
+	pairs.Sort(out)
+	return out
 }

@@ -1,0 +1,33 @@
+// Package pairs holds the one shared definition of the self-join
+// result order. Every join in this module — the four backends'
+// (hamming, setsim, strdist, graph) and the engine's — emits unordered
+// id pairs {I, J} with I < J and reports them sorted ascending by
+// (I, J). The backends keep their own Pair struct types for API
+// compatibility, and the engine uses a wider int64 id space, so the
+// helpers here are generic over any struct whose underlying type is
+// struct{ I, J T } for an integer T.
+package pairs
+
+import (
+	"cmp"
+	"slices"
+)
+
+// ID constrains the id type of a pair: the backends identify objects
+// by int positions, the engine by global int64 ids.
+type ID interface{ ~int | ~int64 }
+
+// Compare orders two pairs ascending by (I, J).
+func Compare[T ID, P ~struct{ I, J T }](a, b P) int {
+	x, y := (struct{ I, J T })(a), (struct{ I, J T })(b)
+	if c := cmp.Compare(x.I, y.I); c != 0 {
+		return c
+	}
+	return cmp.Compare(x.J, y.J)
+}
+
+// Sort orders pairs in place, ascending by (I, J) — the output order
+// of every join in this module.
+func Sort[T ID, P ~struct{ I, J T }](ps []P) {
+	slices.SortFunc(ps, Compare[T, P])
+}

@@ -1,0 +1,60 @@
+package pairs
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// intPair mirrors the backends' Pair shape, int64Pair the engine's;
+// both must satisfy the generic helpers through their underlying type.
+type (
+	intPair   struct{ I, J int }
+	int64Pair struct{ I, J int64 }
+)
+
+func TestSortOrdersByIThenJ(t *testing.T) {
+	ps := []intPair{{2, 5}, {0, 7}, {2, 3}, {0, 1}, {1, 9}}
+	Sort(ps)
+	want := []intPair{{0, 1}, {0, 7}, {1, 9}, {2, 3}, {2, 5}}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Fatalf("pair %d = %v, want %v (all: %v)", i, ps[i], want[i], ps)
+		}
+	}
+}
+
+func TestSortInt64MatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ps := make([]int64Pair, 500)
+	for i := range ps {
+		ps[i] = int64Pair{I: rng.Int63n(40), J: rng.Int63n(40)}
+	}
+	ref := append([]int64Pair(nil), ps...)
+	sort.Slice(ref, func(a, b int) bool {
+		if ref[a].I != ref[b].I {
+			return ref[a].I < ref[b].I
+		}
+		return ref[a].J < ref[b].J
+	})
+	Sort(ps)
+	for i := range ref {
+		if ps[i] != ref[i] {
+			t.Fatalf("pair %d = %v, want %v", i, ps[i], ref[i])
+		}
+	}
+}
+
+func TestCompareIsAntisymmetric(t *testing.T) {
+	cases := []intPair{{0, 1}, {0, 2}, {1, 2}, {1, 2}}
+	for _, a := range cases {
+		for _, b := range cases {
+			if Compare(a, b) != -Compare(b, a) {
+				t.Fatalf("Compare(%v, %v) not antisymmetric", a, b)
+			}
+			if (Compare(a, b) == 0) != (a == b) {
+				t.Fatalf("Compare(%v, %v) zero iff equal violated", a, b)
+			}
+		}
+	}
+}

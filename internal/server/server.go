@@ -1,13 +1,15 @@
 // Package server implements the HTTP/JSON serving layer of the
 // pigeonringd query daemon: loading synthetic datasets into sharded
-// engine indexes, answering single and batch searches with tunable τ
-// and chain length, and exposing live per-problem statistics.
+// engine indexes, answering single and batch searches plus all-pairs
+// self-joins with tunable τ and chain length, and exposing live
+// per-problem statistics.
 //
 // The API is versioned under /v1:
 //
 //	POST /v1/load          {"problem":"hamming","n":5000,"shards":4,...}
 //	POST /v1/search        {"problem":"hamming","queryId":17,"limit":10,"timeout_ms":50,...}
 //	POST /v1/search/batch  {"problem":"set","queryIds":[1,2,3],...}
+//	POST /v1/join          {"problem":"set","limit":100,"timeout_ms":5000,...}
 //	GET  /v1/indexes
 //	GET  /v1/stats
 //	GET  /v1/healthz
@@ -23,8 +25,11 @@
 // deadline on top (bounded by the server's default when one is
 // configured); an expired deadline answers 504 with a machine-readable
 // {"code":"deadline_exceeded"} payload. "limit" stops a search after
-// the first k ascending ids. /v1/stats surfaces cancelled and limited
-// query counts per problem.
+// the first k ascending ids. /v1/join self-joins the loaded dataset —
+// every pair of distinct objects within the threshold, ascending by
+// (i, j) — under the same context, timeout and limit machinery.
+// /v1/stats surfaces cancelled and limited query counts plus join and
+// pair totals per problem.
 package server
 
 import (
@@ -76,6 +81,8 @@ type entry struct {
 	limited    atomic.Int64
 	candidates atomic.Int64
 	results    atomic.Int64
+	joins      atomic.Int64
+	joinPairs  atomic.Int64
 	filterNS   atomic.Int64
 	verifyNS   atomic.Int64
 	wallNS     atomic.Int64
@@ -101,6 +108,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/load", s.handleLoad)
 	mux.HandleFunc("POST /v1/search", s.handleSearch)
 	mux.HandleFunc("POST /v1/search/batch", s.handleSearchBatch)
+	mux.HandleFunc("POST /v1/join", s.handleJoin)
 	mux.HandleFunc("GET /v1/indexes", s.handleIndexes)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -736,6 +744,95 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// --- /v1/join ----------------------------------------------------------------
+
+// JoinRequest asks for the all-pairs self-join of a loaded dataset:
+// every pair of distinct objects within the index's threshold. A join
+// runs one search per indexed object, so it is the server's most
+// expensive call — bound it with timeout_ms (or the server default)
+// and limit.
+type JoinRequest struct {
+	Problem string `json:"problem"`
+	// L is the pigeonring chain length applied to every row's search:
+	// 0 the paper's recommendation, 1 the pigeonhole baseline, ≥ 2 the
+	// ring filter.
+	L int `json:"l,omitempty"`
+	// Limit trims the join to its first Limit pairs in ascending
+	// (i, j) order; 0 means all pairs.
+	Limit int `json:"limit,omitempty"`
+	// TimeoutMS puts a deadline on the join, in milliseconds; an
+	// exceeded deadline answers 504 with code "deadline_exceeded".
+	// 0 falls back to the server's default timeout (if configured).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// SkipVerify stops every row's search after candidate generation;
+	// statistics are reported but no pairs.
+	SkipVerify bool `json:"skipVerify,omitempty"`
+	// Timings measures the aggregate filter/verify time split (runs
+	// candidate generation twice per row).
+	Timings bool `json:"timings,omitempty"`
+}
+
+// JoinResponse carries the join's result pairs as [i, j] arrays with
+// i < j, ascending by (i, j).
+type JoinResponse struct {
+	Problem string       `json:"problem"`
+	Pairs   [][2]int64   `json:"pairs"`
+	Stats   engine.Stats `json:"stats"`
+}
+
+// recordJoin folds one join outcome into the entry's live counters.
+func (e *entry) recordJoin(st engine.Stats) {
+	e.joins.Add(1)
+	if st.Limited {
+		e.limited.Add(1)
+	}
+	e.joinPairs.Add(int64(st.Pairs))
+	e.candidates.Add(int64(st.Candidates))
+	e.filterNS.Add(st.FilterNS)
+	e.verifyNS.Add(st.VerifyNS)
+	e.wallNS.Add(st.WallNS)
+}
+
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Limit < 0 || req.TimeoutMS < 0 {
+		writeError(w, http.StatusBadRequest, "limit and timeout_ms must be non-negative")
+		return
+	}
+	e, p, ok := s.lookup(w, req.Problem)
+	if !ok {
+		return
+	}
+	joiner, ok := e.index.(engine.Joiner)
+	if !ok {
+		// Unreachable for indexes this server builds; kept so a future
+		// foreign index degrades into a clear answer instead of a 500.
+		writeError(w, http.StatusNotImplemented, "%s index does not support joins", p)
+		return
+	}
+	ctx, cancel := s.searchContext(r, req.TimeoutMS)
+	defer cancel()
+	pairs, st, err := joiner.Join(ctx, engine.JoinOptions{
+		ChainLength: req.L,
+		Limit:       req.Limit,
+		SkipVerify:  req.SkipVerify,
+		Timings:     req.Timings,
+	})
+	if err != nil {
+		writeSearchError(w, e, err)
+		return
+	}
+	e.recordJoin(st)
+	wire := make([][2]int64, len(pairs))
+	for i, pr := range pairs {
+		wire[i] = [2]int64{pr.I, pr.J}
+	}
+	writeJSON(w, http.StatusOK, JoinResponse{Problem: string(p), Pairs: wire, Stats: st})
+}
+
 // --- /v1/indexes -------------------------------------------------------------
 
 // IndexInfo describes one loaded index.
@@ -790,6 +887,8 @@ type ProblemStats struct {
 	Limited    int64   `json:"limited"`
 	Candidates int64   `json:"candidates"`
 	Results    int64   `json:"results"`
+	Joins      int64   `json:"joins"`
+	JoinPairs  int64   `json:"joinPairs"`
 	FilterMS   float64 `json:"filterMs"`
 	VerifyMS   float64 `json:"verifyMs"`
 	WallMS     float64 `json:"wallMs"`
@@ -829,6 +928,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Limited:    e.limited.Load(),
 			Candidates: e.candidates.Load(),
 			Results:    e.results.Load(),
+			Joins:      e.joins.Load(),
+			JoinPairs:  e.joinPairs.Load(),
 			FilterMS:   float64(e.filterNS.Load()) / 1e6,
 			VerifyMS:   float64(e.verifyNS.Load()) / 1e6,
 			WallMS:     float64(e.wallNS.Load()) / 1e6,

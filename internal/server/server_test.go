@@ -526,3 +526,115 @@ func TestLoadReplacesIndex(t *testing.T) {
 		t.Fatalf("unexpected problem %q", got.Problem)
 	}
 }
+
+// TestJoinEndpoint: /v1/join over a sharded set index returns exactly
+// the pairs of a locally built engine join on the same deterministic
+// dataset, and bumps the join counters in /v1/stats.
+func TestJoinEndpoint(t *testing.T) {
+	h := newHarness(t)
+	const n, seed = 400, 6
+	h.load(LoadRequest{Problem: "set", N: n, Seed: seed, Shards: 3})
+
+	sets := dataset.DBLP(n, seed)
+	local, err := engine.BuildSet(sets, setsim.Config{Measure: setsim.Jaccard, Tau: 0.8, M: 5}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := local.(engine.Joiner).Join(context.Background(), engine.JoinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("reference join found no pairs; pick a denser dataset")
+	}
+
+	var resp JoinResponse
+	if code, body := h.post("/v1/join", JoinRequest{Problem: "set"}, &resp); code != http.StatusOK {
+		t.Fatalf("join: status %d body %s", code, body)
+	}
+	if len(resp.Pairs) != len(want) {
+		t.Fatalf("join returned %d pairs, want %d", len(resp.Pairs), len(want))
+	}
+	for i, p := range want {
+		if resp.Pairs[i] != [2]int64{p.I, p.J} {
+			t.Fatalf("pair %d = %v, want [%d %d]", i, resp.Pairs[i], p.I, p.J)
+		}
+	}
+	if resp.Stats.Pairs != len(want) || resp.Stats.JoinBlocks < 1 {
+		t.Fatalf("stats pairs=%d joinBlocks=%d, want %d/≥1", resp.Stats.Pairs, resp.Stats.JoinBlocks, len(want))
+	}
+
+	// Limit trims to the (i, j)-ascending prefix and flags the cut.
+	k := (len(want) + 1) / 2
+	var lim JoinResponse
+	if code, body := h.post("/v1/join", JoinRequest{Problem: "set", Limit: k}, &lim); code != http.StatusOK {
+		t.Fatalf("limited join: status %d body %s", code, body)
+	}
+	if len(lim.Pairs) != k {
+		t.Fatalf("limited join returned %d pairs, want %d", len(lim.Pairs), k)
+	}
+	for i := range lim.Pairs {
+		if lim.Pairs[i] != resp.Pairs[i] {
+			t.Fatalf("limited pair %d = %v, want %v", i, lim.Pairs[i], resp.Pairs[i])
+		}
+	}
+	if !lim.Stats.Limited {
+		t.Fatal("limited join did not set stats.limited")
+	}
+
+	var st StatsResponse
+	h.get("/v1/stats", &st)
+	ps := st.Problems["set"]
+	if ps.Joins != 2 {
+		t.Fatalf("joins counter = %d, want 2", ps.Joins)
+	}
+	if wantPairs := int64(len(want) + k); ps.JoinPairs != wantPairs {
+		t.Fatalf("joinPairs counter = %d, want %d", ps.JoinPairs, wantPairs)
+	}
+	if ps.Queries != 0 {
+		t.Fatalf("joins bumped the search query counter to %d", ps.Queries)
+	}
+}
+
+// TestJoinErrorPaths: parameter validation and the unloaded-problem
+// answer mirror the search endpoint's.
+func TestJoinErrorPaths(t *testing.T) {
+	h := newHarness(t)
+	if code, _ := h.post("/v1/join", JoinRequest{Problem: "set"}, nil); code != http.StatusNotFound {
+		t.Fatalf("unloaded join: status %d, want 404", code)
+	}
+	h.load(LoadRequest{Problem: "set", N: 100, Seed: 1})
+	if code, _ := h.post("/v1/join", JoinRequest{Problem: "set", Limit: -1}, nil); code != http.StatusBadRequest {
+		t.Fatalf("negative limit: status %d, want 400", code)
+	}
+	if code, _ := h.post("/v1/join", JoinRequest{Problem: "set", TimeoutMS: -1}, nil); code != http.StatusBadRequest {
+		t.Fatalf("negative timeout_ms: status %d, want 400", code)
+	}
+	if code, _ := h.post("/v1/join", JoinRequest{Problem: "nope"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("unknown problem: status %d, want 400", code)
+	}
+}
+
+// TestJoinDeadline: an unmeetable timeout_ms fails the join with the
+// same 504 deadline_exceeded answer a search gets, bumping the
+// cancelled counter — a graph join over many rows has context checks
+// between every row search, so a 1 ms deadline always lands on one.
+func TestJoinDeadline(t *testing.T) {
+	h := newHarnessServer(t, New(1, 0))
+	h.load(LoadRequest{Problem: "graph", N: 2000, Seed: 9, Shards: 16})
+	code, body := h.post("/v1/join", JoinRequest{Problem: "graph", TimeoutMS: 1}, nil)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("deadline join: status %d body %s, want 504", code, body)
+	}
+	if !strings.Contains(body, `"code":"deadline_exceeded"`) {
+		t.Fatalf("deadline payload %s lacks deadline_exceeded code", body)
+	}
+	var st StatsResponse
+	h.get("/v1/stats", &st)
+	if got := st.Problems["graph"].Cancelled; got != 1 {
+		t.Fatalf("cancelled counter = %d, want 1", got)
+	}
+	if got := st.Problems["graph"].Joins; got != 0 {
+		t.Fatalf("failed join counted: joins = %d, want 0", got)
+	}
+}

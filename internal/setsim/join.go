@@ -1,9 +1,7 @@
 package setsim
 
 import (
-	"sort"
-
-	"repro/internal/tokenset"
+	"repro/internal/pairs"
 )
 
 // Pair is an unordered result pair of a self-join, with I < J.
@@ -16,7 +14,7 @@ type Pair struct {
 // setting of AllPairs/PPJoin/PartAlloc, answered with the pkwise or
 // pigeonring filter depending on chainLength.
 func (db *PKWiseDB) Join(chainLength int) ([]Pair, Stats, error) {
-	var pairs []Pair
+	var out []Pair
 	var agg Stats
 	for i := 0; i < db.Len(); i++ {
 		res, st, err := db.Search(db.sets[i], chainLength)
@@ -29,34 +27,26 @@ func (db *PKWiseDB) Join(chainLength int) ([]Pair, Stats, error) {
 		agg.BoxChecks += st.BoxChecks
 		for _, j := range res {
 			if j < i {
-				pairs = append(pairs, Pair{I: j, J: i})
+				out = append(out, Pair{I: j, J: i})
 			}
 		}
 	}
-	agg.Results = len(pairs)
-	sortPairs(pairs)
-	return pairs, agg, nil
+	agg.Results = len(out)
+	pairs.Sort(out)
+	return out, agg, nil
 }
 
-// JoinLinear is the quadratic reference join used by tests.
-func JoinLinear(sets []tokenset.Set, cfg Config) []Pair {
-	var pairs []Pair
-	for i := range sets {
-		for _, j := range SearchLinear(sets, sets[i], cfg) {
+// JoinLinear is the quadratic reference join used by tests, scanning
+// under the DB's own Config like the other backends' method forms.
+func (db *PKWiseDB) JoinLinear() []Pair {
+	var out []Pair
+	for i := range db.sets {
+		for _, j := range SearchLinear(db.sets, db.sets[i], db.cfg) {
 			if j < i {
-				pairs = append(pairs, Pair{I: j, J: i})
+				out = append(out, Pair{I: j, J: i})
 			}
 		}
 	}
-	sortPairs(pairs)
-	return pairs
-}
-
-func sortPairs(pairs []Pair) {
-	sort.Slice(pairs, func(a, b int) bool {
-		if pairs[a].I != pairs[b].I {
-			return pairs[a].I < pairs[b].I
-		}
-		return pairs[a].J < pairs[b].J
-	})
+	pairs.Sort(out)
+	return out
 }

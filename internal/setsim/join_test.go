@@ -14,7 +14,7 @@ func TestJoinExactness(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want := JoinLinear(sets, cfg)
+		want := db.JoinLinear()
 		for l := 1; l <= 3; l++ {
 			got, st, err := db.Join(l)
 			if err != nil {
