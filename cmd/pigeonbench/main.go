@@ -1,0 +1,122 @@
+// Command pigeonbench runs the repo's standardized benchmark
+// workloads (internal/perfbench) and maintains the BENCH_*.json
+// performance trajectory: search, batch-search and self-join over all
+// four backends and the sharded engine, pigeonhole versus pigeonring.
+//
+// Typical uses:
+//
+//	# Full trajectory run, committed at the repo root.
+//	pigeonbench -tag PR4 -out BENCH_PR4.json
+//
+//	# Record a before/after optimization pair in one file.
+//	pigeonbench -out /tmp/before.json
+//	...optimize...
+//	pigeonbench -tag PR4 -prev /tmp/before.json -out BENCH_PR4.json
+//
+//	# The CI gate: quick run, fail on >20% regression vs the baseline.
+//	pigeonbench -smoke -compare BENCH_PR4.json -out bench-ci.json
+//
+// The human table always goes to stdout; -out writes the JSON report.
+// With -compare the exit code is 1 when any tracked series regressed
+// beyond -tolerance on the -metrics (default allocs/op,cands/op — the
+// machine-independent gate; add ns/op only when baseline and current
+// run on the same hardware).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/perfbench"
+)
+
+func main() {
+	var (
+		smoke     = flag.Bool("smoke", false, "one measured repetition per series (quick CI mode; counters stay identical to a full run)")
+		seed      = flag.Int64("seed", 42, "dataset and query sampling seed")
+		tag       = flag.String("tag", "dev", "report tag (conventionally the PR, e.g. PR4)")
+		out       = flag.String("out", "", "write the JSON report to this file")
+		prev      = flag.String("prev", "", "earlier report whose ns/op and allocs/op to embed as before-values")
+		compare   = flag.String("compare", "", "baseline report to gate against; regressions make the exit code 1")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional growth per metric before -compare fails")
+		metrics   = flag.String("metrics", "allocs/op,cands/op", "comma-separated metrics for -compare: ns/op, allocs/op, cands/op")
+		workers   = flag.Int("workers", 0, "engine worker bound (0 = GOMAXPROCS)")
+		quiet     = flag.Bool("q", false, "suppress per-series progress on stderr")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "pigeonbench: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
+	}
+
+	cfg := perfbench.Config{
+		Seed:    *seed,
+		Tag:     *tag,
+		Smoke:   *smoke,
+		Workers: *workers,
+	}
+	if !*quiet {
+		cfg.Progress = func(s perfbench.Series) {
+			fmt.Fprintf(os.Stderr, "done %-34s %12.0f ns/op %8.0f allocs/op\n", s.Name, s.NsPerOp, s.AllocsPerOp)
+		}
+	}
+
+	rep, err := perfbench.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *prev != "" {
+		prevRep, err := perfbench.ReadReport(*prev)
+		if err != nil {
+			fatal(err)
+		}
+		rep.AnnotatePrev(prevRep)
+	}
+
+	if err := rep.WriteTable(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		if err := rep.WriteReport(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d series)\n", *out, len(rep.Series))
+	}
+
+	if *compare != "" {
+		base, err := perfbench.ReadReport(*compare)
+		if err != nil {
+			fatal(err)
+		}
+		var ms []string
+		for _, m := range strings.Split(*metrics, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				ms = append(ms, m)
+			}
+		}
+		regs, missing, err := perfbench.Compare(base, rep, *tolerance, ms)
+		if err != nil {
+			fatal(err)
+		}
+		for _, name := range missing {
+			fmt.Fprintf(os.Stderr, "MISSING %s: tracked series absent from this run\n", name)
+		}
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "REGRESSION %s\n", r)
+		}
+		if len(regs) > 0 || len(missing) > 0 {
+			fmt.Fprintf(os.Stderr, "pigeonbench: %d regression(s), %d missing series vs %s (tolerance %.0f%%, metrics %s)\n",
+				len(regs), len(missing), *compare, *tolerance*100, strings.Join(ms, ","))
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "no regressions vs %s (tolerance %.0f%%, metrics %s)\n", *compare, *tolerance*100, strings.Join(ms, ","))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pigeonbench:", err)
+	os.Exit(1)
+}

@@ -34,6 +34,29 @@ type Sharded struct {
 	offsets []int64
 	workers int
 	total   int
+	// fan pools per-call fan-out scratch (fanScratch); the per-shard
+	// Stats are allocated fresh each call because they escape into the
+	// returned Stats.PerShard.
+	fan sync.Pool
+}
+
+// fanScratch is the pooled per-search fan-out state: the per-shard
+// result staging area and the completion flags the limit prefix scan
+// reads. Shard result slices are nilled on release so pooling never
+// retains them.
+type fanScratch struct {
+	ids      [][]int64
+	searched []bool
+}
+
+func (s *Sharded) getFan() *fanScratch {
+	return s.fan.Get().(*fanScratch)
+}
+
+func (s *Sharded) putFan(f *fanScratch) {
+	clear(f.ids)
+	clear(f.searched)
+	s.fan.Put(f)
 }
 
 // NewSharded builds a composite over shards, which must be non-empty,
@@ -59,7 +82,14 @@ func NewSharded(shards []Index, workers int) (*Sharded, error) {
 		offsets[i] = int64(total)
 		total += sh.Len()
 	}
-	return &Sharded{problem: p, shards: shards, offsets: offsets, workers: workers, total: total}, nil
+	s := &Sharded{problem: p, shards: shards, offsets: offsets, workers: workers, total: total}
+	s.fan.New = func() any {
+		return &fanScratch{
+			ids:      make([][]int64, len(shards)),
+			searched: make([]bool, len(shards)),
+		}
+	}
+	return s, nil
 }
 
 // Problem returns the shards' common problem.
@@ -87,9 +117,10 @@ func (s *Sharded) Search(ctx context.Context, q Query, opt Options) ([]int64, St
 	}
 	start := time.Now()
 	n := len(s.shards)
-	ids := make([][]int64, n)
+	fan := s.getFan()
+	defer s.putFan(fan)
+	ids, searched := fan.ids, fan.searched
 	perShard := make([]Stats, n)
-	searched := make([]bool, n)
 
 	// With a limit, the fan-out runs under a child context that is
 	// cancelled as soon as shards 0..j are all done and together hold

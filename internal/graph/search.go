@@ -2,7 +2,9 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"sync"
+
+	"repro/internal/pairs"
 )
 
 // Options configure a GED search.
@@ -93,6 +95,16 @@ type DB struct {
 	parts  [][]*Graph
 	labels []LabelVector
 	ecount []int
+	// scratch pools per-search box caches and result buffers so the
+	// scan loop stays allocation-free across calls.
+	scratch sync.Pool
+}
+
+// searchScratch is the per-search working memory a DB hands out from
+// its pool.
+type searchScratch struct {
+	cache   *boxCache
+	results []int
 }
 
 // NewDB partitions every graph with BFSPartitioner.
@@ -132,6 +144,9 @@ func NewDBWithPartitioner(graphs []*Graph, tau int, part Partitioner) (*DB, erro
 		db.parts[id] = ps
 		db.labels[id] = Labels(g)
 		db.ecount[id] = g.EdgeCount()
+	}
+	db.scratch.New = func() any {
+		return &searchScratch{cache: newBoxCache(m)}
 	}
 	return db, nil
 }
@@ -214,8 +229,13 @@ func (db *DB) Search(q *Graph, opt Options) ([]int, Stats, error) {
 
 	qLabels := Labels(q)
 	qEdges := q.EdgeCount()
-	cache := newBoxCache(m)
-	var results []int
+	s := db.scratch.Get().(*searchScratch)
+	defer func() {
+		s.results = s.results[:0]
+		db.scratch.Put(s)
+	}()
+	cache := s.cache
+	results := s.results
 	for id, g := range db.graphs {
 		if opt.LabelPrefilter &&
 			LabelLowerBound(db.labels[id], qLabels, g.N(), q.N(), db.ecount[id], qEdges) > tau {
@@ -255,9 +275,10 @@ func (db *DB) Search(q *Graph, opt Options) ([]int, Stats, error) {
 			results = append(results, id)
 		}
 	}
-	sort.Ints(results)
-	st.Results = len(results)
-	return results, st, nil
+	s.results = results
+	out := pairs.SortedIDs(results)
+	st.Results = len(out)
+	return out, st, nil
 }
 
 // SearchLinear verifies every graph directly; it is the ground truth

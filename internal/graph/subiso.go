@@ -105,8 +105,12 @@ func MinDeletionOps(part, q *Graph, budget int) int {
 	if budget < 0 {
 		budget = 0
 	}
+	// One defensive clone serves every budget step: existsVariant
+	// restores g before returning, and the clone keeps concurrent
+	// searches from racing on the shared indexed parts.
+	g := part.Clone()
 	for k := 0; k <= budget; k++ {
-		if existsVariant(part.Clone(), q, k) {
+		if existsVariant(g, q, k) {
 			return k
 		}
 	}

@@ -24,10 +24,11 @@ package hamming
 
 import (
 	"fmt"
-	"sort"
+	"sync"
 
 	"repro/internal/bitvec"
 	"repro/internal/core"
+	"repro/internal/pairs"
 )
 
 // Allocation selects how the per-part thresholds are chosen.
@@ -96,6 +97,37 @@ type DB struct {
 	index []map[uint64][]int32
 	// sample ids used by the cost model.
 	sample []int32
+	// scratch pools per-search working memory (searchScratch) so the
+	// hot path stays allocation-free across calls.
+	scratch sync.Pool
+}
+
+// searchScratch is the per-search working memory a DB hands out from
+// its pool: the accepted-id bitmap (cleared via the marked list on
+// release, so clearing costs O(candidates), not O(n)), the threshold
+// allocator's arrays, and the reusable result buffer (Search copies it
+// into an exact-size slice before returning).
+type searchScratch struct {
+	accepted []bool
+	marked   []int32
+	qParts   []uint64
+	t        []int
+	tf       []float64
+	distHist [][]int
+	results  []int
+}
+
+func (db *DB) getScratch() *searchScratch {
+	return db.scratch.Get().(*searchScratch)
+}
+
+func (db *DB) putScratch(s *searchScratch) {
+	for _, id := range s.marked {
+		s.accepted[id] = false
+	}
+	s.marked = s.marked[:0]
+	s.results = s.results[:0]
+	db.scratch.Put(s)
 }
 
 // NewDB indexes vecs (all of dimension d) under an m-part equal-width
@@ -130,7 +162,21 @@ func NewDB(vecs []bitvec.Vector, m int) (*DB, error) {
 	for id := 0; id < len(vecs); id += step {
 		sample = append(sample, int32(id))
 	}
-	return &DB{vecs: vecs, part: part, index: index, sample: sample}, nil
+	db := &DB{vecs: vecs, part: part, index: index, sample: sample}
+	db.scratch.New = func() any {
+		s := &searchScratch{
+			accepted: make([]bool, len(db.vecs)),
+			qParts:   make([]uint64, m),
+			t:        make([]int, m),
+			tf:       make([]float64, m),
+			distHist: make([][]int, m),
+		}
+		for i := range s.distHist {
+			s.distHist[i] = make([]int, part.Width(i)+1)
+		}
+		return s
+	}
+	return db, nil
 }
 
 // Len returns the number of indexed vectors.
@@ -145,12 +191,13 @@ func (db *DB) M() int { return db.part.M() }
 // Vector returns the indexed vector with the given id.
 func (db *DB) Vector(id int) bitvec.Vector { return db.vecs[id] }
 
-// allocate chooses integer thresholds t_0..t_{m-1} summing to total.
-// Negative thresholds disable a part (its box can never be viable),
-// which is how budgets below zero per part are expressed.
-func (db *DB) allocate(q bitvec.Vector, total int, mode Allocation) []int {
+// allocate chooses integer thresholds t_0..t_{m-1} summing to total,
+// written into s.t (reusing s.distHist for the cost model's sample
+// histograms). Negative thresholds disable a part (its box can never
+// be viable), which is how budgets below zero per part are expressed.
+func (db *DB) allocate(q bitvec.Vector, total int, mode Allocation, s *searchScratch) []int {
 	m := db.part.M()
-	t := make([]int, m)
+	t := s.t
 	if mode == AllocUniform {
 		base := total / m
 		rem := total - base*m
@@ -180,9 +227,9 @@ func (db *DB) allocate(q bitvec.Vector, total int, mode Allocation) []int {
 	}
 	// distHist[i][k] = number of sample vectors whose part i is at
 	// distance k from the query part.
-	distHist := make([][]int, m)
+	distHist := s.distHist
 	for i := 0; i < m; i++ {
-		distHist[i] = make([]int, db.part.Width(i)+1)
+		clear(distHist[i])
 		for _, id := range db.sample {
 			distHist[i][db.part.PartDistance(db.vecs[id], q, i)]++
 		}
@@ -246,13 +293,17 @@ func (db *DB) Search(q bitvec.Vector, tau int, opt Options) ([]int, Stats, error
 	if opt.NoIntegerReduction {
 		total = tau
 	}
-	t := db.allocate(q, total, opt.Alloc)
-	st.Thresholds = t
+	s := db.getScratch()
+	defer db.putScratch(s)
+	t := db.allocate(q, total, opt.Alloc, s)
+	// t aliases pooled scratch; Stats must not retain it past the call.
+	st.Thresholds = append(make([]int, 0, m), t...)
 
-	tf := make([]float64, m)
+	tf := s.tf
 	for i, v := range t {
 		tf[i] = float64(v)
 	}
+	// The Filter copies the thresholds out of tf at construction.
 	var filter *core.Filter
 	if opt.NoIntegerReduction {
 		filter = core.NewVariable(tf, l, core.LE)
@@ -260,18 +311,19 @@ func (db *DB) Search(q bitvec.Vector, tau int, opt Options) ([]int, Stats, error
 		filter = core.NewIntegerReduction(tf, l, core.LE)
 	}
 
-	accepted := make([]bool, len(db.vecs))
-	var results []int
-	qParts := make([]uint64, m)
+	accepted := s.accepted
+	results := s.results
+	qParts := s.qParts
 	for i := 0; i < m; i++ {
 		qParts[i] = db.part.Extract(q, i)
 	}
 
 	// One lazy box ring is shared across all chain checks of the
-	// query; cur is repointed at the object under test, keeping the
-	// hot loop allocation free.
+	// query; cur is repointed at the object under test, and the
+	// BoxValues conversion happens once here rather than per chain
+	// check, keeping the hot loop allocation free.
 	var cur bitvec.Vector
-	boxes := core.BoxFunc{M: m, F: func(j int) float64 {
+	var boxes core.BoxValues = core.BoxFunc{M: m, F: func(j int) float64 {
 		st.BoxChecks++
 		return float64(db.part.PartDistance(cur, q, j))
 	}}
@@ -300,6 +352,7 @@ func (db *DB) Search(q bitvec.Vector, tau int, opt Options) ([]int, Stats, error
 					}
 				}
 				accepted[id] = true
+				s.marked = append(s.marked, id)
 				st.Candidates++
 				if !opt.SkipVerify && bitvec.HammingAbandon(db.vecs[id], q, tau) >= 0 {
 					results = append(results, int(id))
@@ -307,9 +360,10 @@ func (db *DB) Search(q bitvec.Vector, tau int, opt Options) ([]int, Stats, error
 			}
 		})
 	}
-	sort.Ints(results)
-	st.Results = len(results)
-	return results, st, nil
+	s.results = results
+	out := pairs.SortedIDs(results)
+	st.Results = len(out)
+	return out, st, nil
 }
 
 // SearchLinear scans the whole database; it is the ground truth used by

@@ -1,11 +1,12 @@
-// Package pairs holds the one shared definition of the self-join
-// result order. Every join in this module — the four backends'
-// (hamming, setsim, strdist, graph) and the engine's — emits unordered
-// id pairs {I, J} with I < J and reports them sorted ascending by
-// (I, J). The backends keep their own Pair struct types for API
-// compatibility, and the engine uses a wider int64 id space, so the
-// helpers here are generic over any struct whose underlying type is
-// struct{ I, J T } for an integer T.
+// Package pairs holds the one shared definition of result order.
+// Every join in this module — the four backends' (hamming, setsim,
+// strdist, graph) and the engine's — emits unordered id pairs {I, J}
+// with I < J and reports them sorted ascending by (I, J); every
+// search reports ids ascending. The backends keep their own Pair
+// struct types for API compatibility, and the engine uses a wider
+// int64 id space, so the helpers here are generic over any struct
+// whose underlying type is struct{ I, J T } for an integer T, and
+// over the id type for flat results.
 package pairs
 
 import (
@@ -30,4 +31,18 @@ func Compare[T ID, P ~struct{ I, J T }](a, b P) int {
 // of every join in this module.
 func Sort[T ID, P ~struct{ I, J T }](ps []P) {
 	slices.SortFunc(ps, Compare[T, P])
+}
+
+// SortedIDs returns an ascending-sorted copy of ids, or nil when ids
+// is empty. It is the shared detach-from-scratch epilogue of every
+// backend Search: results accumulate in pooled buffers, and the copy
+// both orders them and hands the caller memory that outlives the
+// pool's reuse of the buffer.
+func SortedIDs[T ID](ids []T) []T {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := slices.Clone(ids)
+	slices.Sort(out)
+	return out
 }

@@ -2,6 +2,7 @@ package pairs
 
 import (
 	"math/rand"
+	"slices"
 	"sort"
 	"testing"
 )
@@ -56,5 +57,22 @@ func TestCompareIsAntisymmetric(t *testing.T) {
 				t.Fatalf("Compare(%v, %v) zero iff equal violated", a, b)
 			}
 		}
+	}
+}
+
+func TestSortedIDs(t *testing.T) {
+	if got := SortedIDs([]int(nil)); got != nil {
+		t.Errorf("SortedIDs(nil) = %v, want nil", got)
+	}
+	in := []int{3, 1, 2}
+	got := SortedIDs(in)
+	if !slices.Equal(got, []int{1, 2, 3}) {
+		t.Errorf("SortedIDs = %v, want [1 2 3]", got)
+	}
+	if !slices.Equal(in, []int{3, 1, 2}) {
+		t.Errorf("input mutated: %v", in)
+	}
+	if got64 := SortedIDs([]int64{9, 7}); !slices.Equal(got64, []int64{7, 9}) {
+		t.Errorf("SortedIDs int64 = %v", got64)
 	}
 }

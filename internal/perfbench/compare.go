@@ -1,0 +1,96 @@
+package perfbench
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metric names accepted by Compare. Allocations and candidate counts
+// are machine-independent (allocs/op is exact once pools are warm,
+// candidates are deterministic functions of the seed), so they are the
+// default CI gate; ns/op only means something when baseline and
+// current ran on comparable hardware, so the time gate is opt-in.
+const (
+	MetricNs     = "ns/op"
+	MetricAllocs = "allocs/op"
+	MetricCands  = "cands/op"
+)
+
+// Regression is one metric of one series exceeding the tolerance.
+type Regression struct {
+	// Series is the series name the regression was found in.
+	Series string
+	// Metric is the offending metric (MetricNs, MetricAllocs or
+	// MetricCands).
+	Metric string
+	// Base and Cur are the baseline and current values.
+	Base, Cur float64
+	// Growth is the fractional increase (Cur−Base)/Base; +Inf when the
+	// baseline was zero and the current value is not.
+	Growth float64
+}
+
+func (r Regression) String() string {
+	if math.IsInf(r.Growth, 1) {
+		return fmt.Sprintf("%s: %s grew from 0 to %.4g", r.Series, r.Metric, r.Cur)
+	}
+	return fmt.Sprintf("%s: %s grew %.1f%% (%.4g -> %.4g)", r.Series, r.Metric, r.Growth*100, r.Base, r.Cur)
+}
+
+// Compare checks cur against base: every series of base must still be
+// present in cur, and none of the selected metrics may have grown by
+// more than tolerance (0.20 = 20%). It returns the regressions and the
+// names of baseline series missing from cur; series that only exist in
+// cur are new and ignored. A nil/empty metrics slice selects the
+// machine-independent defaults (allocs/op and cands/op).
+//
+// Edge cases are deliberate: a zero baseline value with a zero current
+// value passes; a zero baseline with a non-zero current value is
+// reported with Growth = +Inf (tolerance cannot excuse appearing from
+// nothing); reports with different schema versions refuse to compare.
+func Compare(base, cur *Report, tolerance float64, metrics []string) (regs []Regression, missing []string, err error) {
+	if base.Schema != cur.Schema {
+		return nil, nil, fmt.Errorf("perfbench: cannot compare schema %d against %d", base.Schema, cur.Schema)
+	}
+	if tolerance < 0 {
+		return nil, nil, fmt.Errorf("perfbench: negative tolerance %v", tolerance)
+	}
+	if len(metrics) == 0 {
+		metrics = []string{MetricAllocs, MetricCands}
+	}
+	value := func(s *Series, metric string) (float64, error) {
+		switch metric {
+		case MetricNs:
+			return s.NsPerOp, nil
+		case MetricAllocs:
+			return s.AllocsPerOp, nil
+		case MetricCands:
+			return s.CandidatesPerOp, nil
+		}
+		return 0, fmt.Errorf("perfbench: unknown metric %q (valid: %s, %s, %s)", metric, MetricNs, MetricAllocs, MetricCands)
+	}
+	for i := range base.Series {
+		b := &base.Series[i]
+		c := cur.Find(b.Name)
+		if c == nil {
+			missing = append(missing, b.Name)
+			continue
+		}
+		for _, metric := range metrics {
+			bv, err := value(b, metric)
+			if err != nil {
+				return nil, nil, err
+			}
+			cv, _ := value(c, metric)
+			switch {
+			case bv == 0 && cv == 0:
+				// Nothing to compare.
+			case bv == 0:
+				regs = append(regs, Regression{Series: b.Name, Metric: metric, Base: bv, Cur: cv, Growth: math.Inf(1)})
+			case cv > bv*(1+tolerance):
+				regs = append(regs, Regression{Series: b.Name, Metric: metric, Base: bv, Cur: cv, Growth: cv/bv - 1})
+			}
+		}
+	}
+	return regs, missing, nil
+}

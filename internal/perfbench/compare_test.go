@@ -1,0 +1,168 @@
+package perfbench
+
+import (
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func mkReport(series ...Series) *Report {
+	return &Report{Schema: SchemaVersion, Tag: "t", Seed: 1, Series: series}
+}
+
+func mkSeries(name string, ns, allocs, cands float64) Series {
+	return Series{Name: name, NsPerOp: ns, AllocsPerOp: allocs, CandidatesPerOp: cands}
+}
+
+func TestCompareClean(t *testing.T) {
+	base := mkReport(mkSeries("search/hamming/pigeonring", 1000, 10, 50))
+	cur := mkReport(mkSeries("search/hamming/pigeonring", 5000, 11, 50))
+	// allocs grew 10%, under tolerance; ns is not among the default
+	// metrics so its 5x growth must not fire.
+	regs, missing, err := Compare(base, cur, 0.20, nil)
+	if err != nil || len(regs) != 0 || len(missing) != 0 {
+		t.Fatalf("Compare = %v, %v, %v; want clean", regs, missing, err)
+	}
+}
+
+func TestCompareRegression(t *testing.T) {
+	base := mkReport(mkSeries("a", 1000, 10, 50))
+	cur := mkReport(mkSeries("a", 1000, 13, 50))
+	regs, _, err := Compare(base, cur, 0.20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != MetricAllocs {
+		t.Fatalf("regs = %v, want one allocs/op regression", regs)
+	}
+	if got := regs[0].Growth; math.Abs(got-0.3) > 1e-9 {
+		t.Errorf("Growth = %v, want 0.3", got)
+	}
+	if !strings.Contains(regs[0].String(), "allocs/op") {
+		t.Errorf("String() = %q, want metric named", regs[0])
+	}
+}
+
+func TestCompareNsMetricOptIn(t *testing.T) {
+	base := mkReport(mkSeries("a", 1000, 10, 50))
+	cur := mkReport(mkSeries("a", 1500, 10, 50))
+	regs, _, err := Compare(base, cur, 0.20, []string{MetricNs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != MetricNs {
+		t.Fatalf("regs = %v, want one ns/op regression", regs)
+	}
+}
+
+func TestCompareMissingSeries(t *testing.T) {
+	base := mkReport(mkSeries("a", 1, 1, 1), mkSeries("b", 1, 1, 1))
+	cur := mkReport(mkSeries("a", 1, 1, 1), mkSeries("new", 1, 1, 1))
+	regs, missing, err := Compare(base, cur, 0.20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Errorf("regs = %v, want none", regs)
+	}
+	// b disappeared (tracked series must not vanish); "new" only
+	// exists in cur and is fine.
+	if !reflect.DeepEqual(missing, []string{"b"}) {
+		t.Errorf("missing = %v, want [b]", missing)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	// Zero baseline, zero current: nothing to compare. Zero baseline,
+	// non-zero current: infinite growth regression — tolerance cannot
+	// excuse appearing from nothing.
+	base := mkReport(mkSeries("zz", 100, 0, 0))
+	cur := mkReport(mkSeries("zz", 100, 0, 0))
+	regs, _, err := Compare(base, cur, 0.20, nil)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("zero/zero: regs = %v, err = %v; want clean", regs, err)
+	}
+	cur = mkReport(mkSeries("zz", 100, 7, 0))
+	regs, _, err = Compare(base, cur, 0.20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !math.IsInf(regs[0].Growth, 1) {
+		t.Fatalf("zero->7: regs = %v, want one +Inf regression", regs)
+	}
+	if !strings.Contains(regs[0].String(), "from 0") {
+		t.Errorf("String() = %q, want zero-baseline wording", regs[0])
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	a := mkReport()
+	b := mkReport()
+	b.Schema = SchemaVersion + 1
+	if _, _, err := Compare(a, b, 0.2, nil); err == nil {
+		t.Error("schema mismatch not rejected")
+	}
+	if _, _, err := Compare(a, a, -0.1, nil); err == nil {
+		t.Error("negative tolerance not rejected")
+	}
+	withSeries := mkReport(mkSeries("a", 1, 1, 1))
+	if _, _, err := Compare(withSeries, withSeries, 0.2, []string{"bogus"}); err == nil {
+		t.Error("unknown metric not rejected")
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	rep := &Report{
+		Schema: SchemaVersion, Tag: "PRx", CreatedAt: "2026-07-30T00:00:00Z",
+		GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", Seed: 42, Smoke: true,
+		Series: []Series{{
+			Name: "join/set/pigeonring", Problem: "set", Workload: "join",
+			Filter: "pigeonring", Shards: 1, N: 800, Ops: 3,
+			NsPerOp: 2.5e6, AllocsPerOp: 4022, BytesPerOp: 182173,
+			CandidatesPerOp: 9995, ResultsPerOp: 92, PairsPerSec: 33399,
+			FilterNsPerOp: 1.7e6, VerifyNsPerOp: 1.2e5,
+			PrevNsPerOp: 4.6e6, PrevAllocsPerOp: 24262,
+		}},
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	if err := rep.WriteReport(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rep) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, rep)
+	}
+}
+
+func TestReadReportRejectsForeignSchema(t *testing.T) {
+	rep := mkReport()
+	rep.Schema = SchemaVersion + 41
+	path := filepath.Join(t.TempDir(), "BENCH_bad.json")
+	if err := rep.WriteReport(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(path); err == nil {
+		t.Error("foreign schema version not rejected")
+	}
+}
+
+func TestAnnotatePrev(t *testing.T) {
+	cur := mkReport(mkSeries("a", 100, 5, 1), mkSeries("only-new", 9, 9, 9))
+	prev := mkReport(mkSeries("a", 300, 50, 1))
+	cur.AnnotatePrev(prev)
+	a := cur.Find("a")
+	if a.PrevNsPerOp != 300 || a.PrevAllocsPerOp != 50 {
+		t.Errorf("a prev = (%v, %v), want (300, 50)", a.PrevNsPerOp, a.PrevAllocsPerOp)
+	}
+	if n := cur.Find("only-new"); n.PrevNsPerOp != 0 || n.PrevAllocsPerOp != 0 {
+		t.Errorf("only-new prev = (%v, %v), want zero", n.PrevNsPerOp, n.PrevAllocsPerOp)
+	}
+	if cur.Find("nope") != nil {
+		t.Error("Find on absent series should be nil")
+	}
+}

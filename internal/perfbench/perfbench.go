@@ -1,0 +1,260 @@
+// Package perfbench is the repo's machine-readable performance
+// harness: it runs standardized, deterministically seeded search,
+// batch-search and self-join workloads over all four backends
+// (hamming, setsim, strdist, graph) and the sharded engine, for both
+// the pigeonhole (chain length 1) and pigeonring (recommended chain
+// length) filters, and emits a versioned Report — the BENCH_<tag>.json
+// trajectory files at the repo root — plus a human-readable table.
+//
+// The workloads are pure functions of (seed, sizes): two runs with the
+// same configuration build identical corpora, sample identical
+// queries, and therefore report identical candidate and result counts;
+// only the timing and allocation figures vary with the machine. That
+// is what makes the trajectory comparable across commits: counters
+// gate correctness-of-work, allocs/op gates the hot paths'
+// allocation discipline, and ns/op records throughput on one machine
+// over time.
+//
+// Compare implements the regression gate CI runs on every PR: any
+// tracked series whose selected metrics grew beyond the tolerance
+// versus a committed baseline fails the build. See the README's
+// "Benchmarking & regression policy" section.
+package perfbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// SchemaVersion identifies the Report JSON layout. Bump it when a
+// field changes meaning; Compare refuses to compare across versions.
+const SchemaVersion = 1
+
+// Report is one full harness run — the content of a BENCH_<tag>.json.
+type Report struct {
+	// Schema is the SchemaVersion the report was written with.
+	Schema int `json:"schema"`
+	// Tag names the run, conventionally the PR ("PR4") or "ci".
+	Tag string `json:"tag"`
+	// CreatedAt is the wall-clock time the run finished (RFC 3339).
+	CreatedAt string `json:"createdAt"`
+	// GoVersion, GOOS and GOARCH identify the toolchain and platform;
+	// ns/op comparisons only mean something within one platform.
+	GoVersion string `json:"goVersion"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Seed is the dataset/query seed every workload derives from.
+	Seed int64 `json:"seed"`
+	// Smoke marks a reduced-repetition run (same corpora and queries,
+	// fewer measured ops — counters match a full run, timings are
+	// noisier).
+	Smoke bool `json:"smoke,omitempty"`
+	// Series holds one entry per (workload, problem, filter, sharding)
+	// combination.
+	Series []Series `json:"series"`
+}
+
+// Series is one measured benchmark series.
+type Series struct {
+	// Name is the stable identifier CI tracks, in the form
+	// "<workload>/<problem>/<filter>" with a "sharded-" workload
+	// prefix for the sharded engine (e.g. "join/set/pigeonring",
+	// "sharded-search/hamming/pigeonring").
+	Name string `json:"name"`
+	// Problem is the backend: hamming, set, string or graph.
+	Problem string `json:"problem"`
+	// Workload is search, batch or join.
+	Workload string `json:"workload"`
+	// Filter is pigeonhole (chain length 1) or pigeonring (the paper's
+	// recommended chain length).
+	Filter string `json:"filter"`
+	// Shards is the shard count of the index (1 = plain adapter).
+	Shards int `json:"shards"`
+	// N is the corpus size.
+	N int `json:"n"`
+	// Queries is the number of distinct sampled queries (search and
+	// batch workloads; 0 for joins).
+	Queries int `json:"queries,omitempty"`
+	// Ops is the number of measured operations (searches, batches or
+	// joins) behind the per-op figures.
+	Ops int `json:"ops"`
+
+	// NsPerOp is wall-clock nanoseconds per operation.
+	NsPerOp float64 `json:"nsPerOp"`
+	// AllocsPerOp and BytesPerOp are heap allocations per operation,
+	// measured over the whole process (worker goroutines included).
+	AllocsPerOp float64 `json:"allocsPerOp"`
+	BytesPerOp  float64 `json:"bytesPerOp"`
+	// CandidatesPerOp is the average number of objects reaching
+	// verification per operation (engine.Stats.Candidates).
+	CandidatesPerOp float64 `json:"candidatesPerOp"`
+	// ResultsPerOp is the average result (or pair) count per operation.
+	ResultsPerOp float64 `json:"resultsPerOp"`
+	// QueriesPerSec is single-query throughput for search and batch
+	// workloads (a batch op counts each of its queries).
+	QueriesPerSec float64 `json:"queriesPerSec,omitempty"`
+	// PairsPerSec is join throughput: result pairs emitted per second.
+	PairsPerSec float64 `json:"pairsPerSec,omitempty"`
+	// FilterNsPerOp and VerifyNsPerOp are the filter/verify time split
+	// per operation, measured in a separate Options.Timings pass and
+	// pulled from engine.Stats (FilterNS/VerifyNS).
+	FilterNsPerOp float64 `json:"filterNsPerOp"`
+	VerifyNsPerOp float64 `json:"verifyNsPerOp"`
+
+	// PrevNsPerOp and PrevAllocsPerOp carry the same figures from an
+	// earlier run of the same series (pigeonbench -prev), recording
+	// before/after pairs for optimization PRs.
+	PrevNsPerOp     float64 `json:"prevNsPerOp,omitempty"`
+	PrevAllocsPerOp float64 `json:"prevAllocsPerOp,omitempty"`
+}
+
+// Sizes fixes the corpus scales of one harness run. Search and join
+// workloads use separate corpora because a self-join performs one
+// search per row: join corpora stay smaller so a run finishes in
+// minutes.
+type Sizes struct {
+	// Vectors, Sets, Strings, Graphs are the search/batch corpus sizes
+	// per backend.
+	Vectors, Sets, Strings, Graphs int
+	// JoinVectors, JoinSets, JoinStrings, JoinGraphs are the self-join
+	// corpus sizes.
+	JoinVectors, JoinSets, JoinStrings, JoinGraphs int
+	// Queries is the number of sampled queries per search/batch series.
+	Queries int
+	// Shards is the shard count of the sharded-engine series.
+	Shards int
+}
+
+// DefaultSizes returns the standard trajectory scales. They are part
+// of the series' identity: changing them breaks comparability with
+// committed baselines, so bump SchemaVersion (or retag) when you do.
+func DefaultSizes() Sizes {
+	return Sizes{
+		Vectors: 2000, Sets: 2000, Strings: 2000, Graphs: 100,
+		JoinVectors: 800, JoinSets: 800, JoinStrings: 800, JoinGraphs: 64,
+		Queries: 8,
+		Shards:  4,
+	}
+}
+
+// Config parameterizes Run.
+type Config struct {
+	// Seed drives every dataset generator and query sample.
+	Seed int64
+	// Tag labels the report.
+	Tag string
+	// Smoke reduces measured repetitions to one per series while
+	// keeping corpora and queries identical, so counters stay
+	// comparable with full runs and only timings get noisier.
+	Smoke bool
+	// Workers bounds engine parallelism (≤ 0 selects GOMAXPROCS).
+	Workers int
+	// Sizes overrides the workload scales; the zero value selects
+	// DefaultSizes. Tests use tiny sizes; trajectory runs must not.
+	Sizes Sizes
+	// Progress, when non-nil, receives one line per finished series.
+	Progress func(s Series)
+}
+
+func (c Config) sizes() Sizes {
+	if c.Sizes == (Sizes{}) {
+		return DefaultSizes()
+	}
+	return c.Sizes
+}
+
+// validate rejects a partially-populated Sizes override: every scale
+// must be positive, or per-op figures would divide by zero and poison
+// the report with NaN.
+func (s Sizes) validate() error {
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"Vectors", s.Vectors}, {"Sets", s.Sets}, {"Strings", s.Strings}, {"Graphs", s.Graphs},
+		{"JoinVectors", s.JoinVectors}, {"JoinSets", s.JoinSets},
+		{"JoinStrings", s.JoinStrings}, {"JoinGraphs", s.JoinGraphs},
+		{"Queries", s.Queries}, {"Shards", s.Shards},
+	} {
+		if f.v <= 0 {
+			return fmt.Errorf("perfbench: Sizes.%s = %d, every workload scale must be positive (the zero Sizes selects DefaultSizes)", f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// reps returns the op-count multiplier: full runs repeat each series
+// enough to smooth timing noise, smoke runs measure each op once.
+func (c Config) reps() int {
+	if c.Smoke {
+		return 1
+	}
+	return 3
+}
+
+// ReadReport loads a Report from a JSON file and validates its schema
+// version.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perfbench: parsing %s: %w", path, err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("perfbench: %s has schema %d, this binary speaks %d", path, r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// WriteReport writes a Report as indented JSON with a trailing
+// newline, the format of the committed BENCH_*.json files.
+func (r *Report) WriteReport(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Find returns the series with the given name, or nil.
+func (r *Report) Find(name string) *Series {
+	for i := range r.Series {
+		if r.Series[i].Name == name {
+			return &r.Series[i]
+		}
+	}
+	return nil
+}
+
+// AnnotatePrev copies each matching series' ns/op and allocs/op from
+// prev into the PrevNsPerOp/PrevAllocsPerOp fields, recording a
+// before/after pair in the report itself. Series absent from prev are
+// left untouched.
+func (r *Report) AnnotatePrev(prev *Report) {
+	for i := range r.Series {
+		if p := prev.Find(r.Series[i].Name); p != nil {
+			r.Series[i].PrevNsPerOp = p.NsPerOp
+			r.Series[i].PrevAllocsPerOp = p.AllocsPerOp
+		}
+	}
+}
+
+// newReport stamps the run environment.
+func newReport(cfg Config) *Report {
+	return &Report{
+		Schema:    SchemaVersion,
+		Tag:       cfg.Tag,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Seed:      cfg.Seed,
+		Smoke:     cfg.Smoke,
+	}
+}

@@ -1,0 +1,111 @@
+package perfbench
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinySizes keeps the determinism test in seconds; trajectory runs use
+// DefaultSizes.
+func tinySizes() Sizes {
+	return Sizes{
+		Vectors: 200, Sets: 200, Strings: 200, Graphs: 16,
+		JoinVectors: 60, JoinSets: 60, JoinStrings: 60, JoinGraphs: 8,
+		Queries: 3,
+		Shards:  2,
+	}
+}
+
+// TestRunDeterminism runs the full harness twice at tiny scale and
+// requires every workload-identity and work-counter field to match
+// bit-for-bit: the corpora, queries and filters are pure functions of
+// the seed, so only timing and allocation may differ between runs.
+func TestRunDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := Config{Seed: 7, Tag: "det", Smoke: true, Workers: 2, Sizes: tinySizes()}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Series) != len(b.Series) {
+		t.Fatalf("series counts differ: %d vs %d", len(a.Series), len(b.Series))
+	}
+	for i := range a.Series {
+		x, y := a.Series[i], b.Series[i]
+		if x.Name != y.Name || x.Problem != y.Problem || x.Workload != y.Workload ||
+			x.Filter != y.Filter || x.Shards != y.Shards || x.N != y.N ||
+			x.Queries != y.Queries || x.Ops != y.Ops {
+			t.Errorf("series %d identity differs:\n %+v\n %+v", i, x, y)
+		}
+		if x.CandidatesPerOp != y.CandidatesPerOp || x.ResultsPerOp != y.ResultsPerOp {
+			t.Errorf("%s: counters differ: cand %v vs %v, results %v vs %v",
+				x.Name, x.CandidatesPerOp, y.CandidatesPerOp, x.ResultsPerOp, y.ResultsPerOp)
+		}
+	}
+}
+
+// TestRunShape checks the series inventory of one run: every problem
+// carries its seven series (search hole/ring, batch ring, join
+// hole/ring, sharded search/join ring) and per-op figures are
+// populated.
+func TestRunShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, err := Run(Config{Seed: 7, Tag: "shape", Smoke: true, Workers: 2, Sizes: tinySizes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != SchemaVersion || rep.Tag != "shape" || !rep.Smoke || rep.Seed != 7 {
+		t.Errorf("header = %+v", rep)
+	}
+	for _, problem := range []string{"hamming", "set", "string", "graph"} {
+		for _, name := range []string{
+			"search/" + problem + "/pigeonhole",
+			"search/" + problem + "/pigeonring",
+			"batch/" + problem + "/pigeonring",
+			"join/" + problem + "/pigeonhole",
+			"join/" + problem + "/pigeonring",
+			"sharded-search/" + problem + "/pigeonring",
+			"sharded-join/" + problem + "/pigeonring",
+		} {
+			s := rep.Find(name)
+			if s == nil {
+				t.Errorf("missing series %s", name)
+				continue
+			}
+			if s.Ops <= 0 || s.NsPerOp <= 0 {
+				t.Errorf("%s: ops=%d ns/op=%v, want positive", name, s.Ops, s.NsPerOp)
+			}
+			if strings.HasPrefix(name, "sharded-") && s.Shards < 2 {
+				t.Errorf("%s: shards=%d, want >=2", name, s.Shards)
+			}
+			if s.Workload == "join" && s.ResultsPerOp > 0 && s.PairsPerSec <= 0 {
+				t.Errorf("%s: pairs/sec missing with %v pairs", name, s.ResultsPerOp)
+			}
+		}
+	}
+	var sb strings.Builder
+	if err := rep.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "search/hamming/pigeonring") {
+		t.Error("table missing series rows")
+	}
+}
+
+// TestRunRejectsPartialSizes guards the NaN path: a Sizes override
+// with any non-positive field must fail fast instead of emitting a
+// division-by-zero report.
+func TestRunRejectsPartialSizes(t *testing.T) {
+	_, err := Run(Config{Seed: 1, Sizes: Sizes{Vectors: 500}})
+	if err == nil || !strings.Contains(err.Error(), "Sizes.") {
+		t.Fatalf("Run with partial Sizes: err = %v, want a Sizes validation error", err)
+	}
+}

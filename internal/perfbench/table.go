@@ -1,0 +1,51 @@
+package perfbench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// WriteTable renders the report as the human-readable companion of the
+// JSON: one row per series with the trajectory metrics, plus the
+// before/after allocation column when the report carries -prev
+// annotations.
+func (r *Report) WriteTable(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "series\tn\tops\tns/op\tallocs/op\tB/op\tcands/op\tresults/op\tthroughput\tfilter/verify\tprev allocs/op\n")
+	for i := range r.Series {
+		s := &r.Series[i]
+		throughput := "-"
+		if s.PairsPerSec > 0 {
+			throughput = fmt.Sprintf("%.0f pairs/s", s.PairsPerSec)
+		} else if s.QueriesPerSec > 0 {
+			throughput = fmt.Sprintf("%.0f q/s", s.QueriesPerSec)
+		}
+		split := "-"
+		if s.FilterNsPerOp > 0 || s.VerifyNsPerOp > 0 {
+			split = fmt.Sprintf("%s/%s", ns(s.FilterNsPerOp), ns(s.VerifyNsPerOp))
+		}
+		prev := "-"
+		if s.PrevAllocsPerOp > 0 {
+			prev = fmt.Sprintf("%.0f (%+.0f%%)", s.PrevAllocsPerOp, (s.AllocsPerOp/s.PrevAllocsPerOp-1)*100)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%.0f\t%.0f\t%.1f\t%.1f\t%s\t%s\t%s\n",
+			s.Name, s.N, s.Ops, ns(s.NsPerOp), s.AllocsPerOp, s.BytesPerOp,
+			s.CandidatesPerOp, s.ResultsPerOp, throughput, split, prev)
+	}
+	return tw.Flush()
+}
+
+// ns formats a nanosecond figure at a human scale.
+func ns(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fs", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fms", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fµs", v/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", v)
+	}
+}

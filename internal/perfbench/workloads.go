@@ -1,0 +1,396 @@
+package perfbench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/setsim"
+)
+
+// The standardized workloads. Every series is a pure function of
+// (seed, sizes): the corpora come from the deterministic dataset
+// generators, queries are sampled with dataset.SampleQueries, and the
+// engine returns exact results, so candidate and result counters are
+// bit-identical across runs and machines.
+//
+// Per problem the harness measures:
+//
+//	search/<p>/pigeonhole     single-query search, chain length 1
+//	search/<p>/pigeonring     single-query search, recommended chain
+//	batch/<p>/pigeonring      one SearchBatch over all sampled queries
+//	join/<p>/pigeonhole       whole-corpus self-join, chain length 1
+//	join/<p>/pigeonring       whole-corpus self-join, recommended chain
+//	sharded-search/<p>/pigeonring   search on the sharded engine
+//	sharded-join/<p>/pigeonring     join on the sharded engine
+//
+// The pigeonhole and pigeonring variants run the same corpus and
+// queries, so their ratio is the paper's headline constant factor.
+
+const (
+	filterHole = "pigeonhole"
+	filterRing = "pigeonring"
+)
+
+// chainOf maps a filter name to the engine ChainLength encoding:
+// 1 is the pigeonhole baseline, 0 selects the paper's per-problem
+// recommendation.
+func chainOf(filter string) int {
+	if filter == filterHole {
+		return 1
+	}
+	return 0
+}
+
+// problemEnv bundles one backend's prebuilt indexes and query set.
+type problemEnv struct {
+	problem string
+	// n and joinN are the corpus sizes behind the respective indexes.
+	n, joinN int
+	// search/batch targets: the plain adapter and the sharded engine.
+	plain, sharded engine.Index
+	// join targets over the (smaller) join corpus.
+	joinPlain, joinSharded engine.Index
+	queries                []engine.Query
+	shards                 int
+}
+
+// buildEnvs constructs the four problem environments for one run.
+func buildEnvs(cfg Config) ([]problemEnv, error) {
+	sz := cfg.sizes()
+	if err := sz.validate(); err != nil {
+		return nil, err
+	}
+	seed := cfg.Seed
+	w := cfg.Workers
+	var envs []problemEnv
+
+	// Hamming: GIST-shaped 256-d vectors, m = 16 parts. The search
+	// index answers τ=32; the join corpus is indexed at τ=24 so the
+	// pair count stays join-scaled.
+	{
+		vecs := dataset.GIST(sz.Vectors, seed)
+		jvecs := dataset.GIST(sz.JoinVectors, seed)
+		env := problemEnv{problem: "hamming", n: sz.Vectors, joinN: sz.JoinVectors, shards: sz.Shards}
+		var err error
+		if env.plain, err = engine.BuildHamming(vecs, 16, 32, 1, w); err != nil {
+			return nil, err
+		}
+		if env.sharded, err = engine.BuildHamming(vecs, 16, 32, sz.Shards, w); err != nil {
+			return nil, err
+		}
+		if env.joinPlain, err = engine.BuildHamming(jvecs, 16, 24, 1, w); err != nil {
+			return nil, err
+		}
+		if env.joinSharded, err = engine.BuildHamming(jvecs, 16, 24, sz.Shards, w); err != nil {
+			return nil, err
+		}
+		for _, qi := range dataset.SampleQueries(len(vecs), sz.Queries, seed) {
+			env.queries = append(env.queries, engine.VectorQuery(vecs[qi]))
+		}
+		envs = append(envs, env)
+	}
+
+	// Set similarity: DBLP-shaped token sets, Jaccard τ=0.8, M=5.
+	{
+		cfgSet := setsim.Config{Measure: setsim.Jaccard, Tau: 0.8, M: 5}
+		sets := dataset.DBLP(sz.Sets, seed)
+		jsets := dataset.DBLP(sz.JoinSets, seed)
+		env := problemEnv{problem: "set", n: sz.Sets, joinN: sz.JoinSets, shards: sz.Shards}
+		var err error
+		if env.plain, err = engine.BuildSet(sets, cfgSet, 1, w); err != nil {
+			return nil, err
+		}
+		if env.sharded, err = engine.BuildSet(sets, cfgSet, sz.Shards, w); err != nil {
+			return nil, err
+		}
+		if env.joinPlain, err = engine.BuildSet(jsets, cfgSet, 1, w); err != nil {
+			return nil, err
+		}
+		if env.joinSharded, err = engine.BuildSet(jsets, cfgSet, sz.Shards, w); err != nil {
+			return nil, err
+		}
+		for _, qi := range dataset.SampleQueries(len(sets), sz.Queries, seed) {
+			env.queries = append(env.queries, engine.SetQuery(sets[qi]))
+		}
+		envs = append(envs, env)
+	}
+
+	// Edit distance: IMDB-shaped strings, κ=2, τ=2.
+	{
+		strs := dataset.IMDB(sz.Strings, seed)
+		jstrs := dataset.IMDB(sz.JoinStrings, seed)
+		env := problemEnv{problem: "string", n: sz.Strings, joinN: sz.JoinStrings, shards: sz.Shards}
+		var err error
+		if env.plain, err = engine.BuildString(strs, 2, 2, 1, w); err != nil {
+			return nil, err
+		}
+		if env.sharded, err = engine.BuildString(strs, 2, 2, sz.Shards, w); err != nil {
+			return nil, err
+		}
+		if env.joinPlain, err = engine.BuildString(jstrs, 2, 2, 1, w); err != nil {
+			return nil, err
+		}
+		if env.joinSharded, err = engine.BuildString(jstrs, 2, 2, sz.Shards, w); err != nil {
+			return nil, err
+		}
+		for _, qi := range dataset.SampleQueries(len(strs), sz.Queries, seed) {
+			env.queries = append(env.queries, engine.StringQuery(strs[qi]))
+		}
+		envs = append(envs, env)
+	}
+
+	// Graph edit distance: AIDS-shaped molecule graphs, τ=3.
+	{
+		gs := dataset.AIDS(sz.Graphs, seed)
+		jgs := dataset.AIDS(sz.JoinGraphs, seed)
+		env := problemEnv{problem: "graph", n: sz.Graphs, joinN: sz.JoinGraphs, shards: sz.Shards}
+		var err error
+		if env.plain, err = engine.BuildGraph(gs, 3, 1, w); err != nil {
+			return nil, err
+		}
+		if env.sharded, err = engine.BuildGraph(gs, 3, sz.Shards, w); err != nil {
+			return nil, err
+		}
+		if env.joinPlain, err = engine.BuildGraph(jgs, 3, 1, w); err != nil {
+			return nil, err
+		}
+		if env.joinSharded, err = engine.BuildGraph(jgs, 3, sz.Shards, w); err != nil {
+			return nil, err
+		}
+		for _, qi := range dataset.SampleQueries(len(gs), sz.Queries, seed) {
+			env.queries = append(env.queries, engine.GraphQuery(gs[qi]))
+		}
+		envs = append(envs, env)
+	}
+	return envs, nil
+}
+
+// Run executes every workload and returns the finished report.
+func Run(cfg Config) (*Report, error) {
+	envs, err := buildEnvs(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := newReport(cfg)
+	ctx := context.Background()
+	for _, env := range envs {
+		type spec struct {
+			workload string
+			filter   string
+			ix       engine.Index
+			sharded  bool
+		}
+		specs := []spec{
+			{"search", filterHole, env.plain, false},
+			{"search", filterRing, env.plain, false},
+			{"batch", filterRing, env.plain, false},
+			{"join", filterHole, env.joinPlain, false},
+			{"join", filterRing, env.joinPlain, false},
+			{"search", filterRing, env.sharded, true},
+			{"join", filterRing, env.joinSharded, true},
+		}
+		for _, sp := range specs {
+			var s Series
+			var err error
+			switch sp.workload {
+			case "search":
+				s, err = runSearch(ctx, cfg, env, sp.ix, sp.filter, sp.sharded)
+			case "batch":
+				s, err = runBatch(ctx, cfg, env, sp.ix, sp.filter, sp.sharded)
+			case "join":
+				s, err = runJoin(ctx, cfg, env, sp.ix, sp.filter, sp.sharded)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("perfbench: %s: %w", s.Name, err)
+			}
+			rep.Series = append(rep.Series, s)
+			if cfg.Progress != nil {
+				cfg.Progress(s)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// seriesName forms the stable series identifier.
+func seriesName(workload, problem, filter string, sharded bool) string {
+	if sharded {
+		workload = "sharded-" + workload
+	}
+	return workload + "/" + problem + "/" + filter
+}
+
+// measure times ops calls of fn, charging wall clock and whole-process
+// heap allocations (worker goroutines included) evenly across ops. A
+// GC settles the heap first so one run's garbage doesn't skew the
+// next; Mallocs/TotalAlloc are monotonic counters, so the deltas are
+// GC-independent.
+func measure(ops int, fn func(op int) error) (nsPerOp, allocsPerOp, bytesPerOp float64, err error) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for op := 0; op < ops; op++ {
+		if err := fn(op); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	n := float64(ops)
+	return float64(elapsed.Nanoseconds()) / n,
+		float64(m1.Mallocs-m0.Mallocs) / n,
+		float64(m1.TotalAlloc-m0.TotalAlloc) / n,
+		nil
+}
+
+func runSearch(ctx context.Context, cfg Config, env problemEnv, ix engine.Index, filter string, sharded bool) (Series, error) {
+	s := baseSeries("search", env, filter, sharded)
+	s.N = env.n
+	s.Queries = len(env.queries)
+	opt := engine.Options{ChainLength: chainOf(filter)}
+
+	// Warm pass: primes scratch pools and collects the work counters,
+	// so smoke and full runs report the same steady-state allocs/op.
+	var cand, res int
+	for _, q := range env.queries {
+		ids, st, err := ix.Search(ctx, q, opt)
+		if err != nil {
+			return s, err
+		}
+		cand += st.Candidates
+		res += len(ids)
+	}
+	s.CandidatesPerOp = float64(cand) / float64(len(env.queries))
+	s.ResultsPerOp = float64(res) / float64(len(env.queries))
+
+	ops := cfg.reps() * 5 * len(env.queries)
+	ns, allocs, bytes, err := measure(ops, func(op int) error {
+		_, _, err := ix.Search(ctx, env.queries[op%len(env.queries)], opt)
+		return err
+	})
+	if err != nil {
+		return s, err
+	}
+	s.Ops, s.NsPerOp, s.AllocsPerOp, s.BytesPerOp = ops, ns, allocs, bytes
+	s.QueriesPerSec = 1e9 / ns
+
+	// Separate Timings pass for the filter/verify split (it re-runs
+	// candidate generation, so it is never part of the timed loop).
+	topt := opt
+	topt.Timings = true
+	var filterNS, verifyNS int64
+	for _, q := range env.queries {
+		_, st, err := ix.Search(ctx, q, topt)
+		if err != nil {
+			return s, err
+		}
+		filterNS += st.FilterNS
+		verifyNS += st.VerifyNS
+	}
+	s.FilterNsPerOp = float64(filterNS) / float64(len(env.queries))
+	s.VerifyNsPerOp = float64(verifyNS) / float64(len(env.queries))
+	return s, nil
+}
+
+func runBatch(ctx context.Context, cfg Config, env problemEnv, ix engine.Index, filter string, sharded bool) (Series, error) {
+	s := baseSeries("batch", env, filter, sharded)
+	s.N = env.n
+	s.Queries = len(env.queries)
+	opt := engine.Options{ChainLength: chainOf(filter)}
+
+	collect := func() (cand, res int, err error) {
+		for _, br := range engine.SearchBatch(ctx, ix, env.queries, opt, cfg.Workers) {
+			if br.Err != nil {
+				return 0, 0, br.Err
+			}
+			cand += br.Stats.Candidates
+			res += len(br.IDs)
+		}
+		return cand, res, nil
+	}
+	cand, res, err := collect() // warm pass
+	if err != nil {
+		return s, err
+	}
+	s.CandidatesPerOp = float64(cand)
+	s.ResultsPerOp = float64(res)
+
+	ops := cfg.reps()
+	ns, allocs, bytes, err := measure(ops, func(int) error {
+		_, _, err := collect()
+		return err
+	})
+	if err != nil {
+		return s, err
+	}
+	s.Ops, s.NsPerOp, s.AllocsPerOp, s.BytesPerOp = ops, ns, allocs, bytes
+	s.QueriesPerSec = float64(len(env.queries)) * 1e9 / ns
+
+	topt := opt
+	topt.Timings = true
+	for _, br := range engine.SearchBatch(ctx, ix, env.queries, topt, cfg.Workers) {
+		if br.Err != nil {
+			return s, br.Err
+		}
+		s.FilterNsPerOp += float64(br.Stats.FilterNS)
+		s.VerifyNsPerOp += float64(br.Stats.VerifyNS)
+	}
+	return s, nil
+}
+
+func runJoin(ctx context.Context, cfg Config, env problemEnv, ix engine.Index, filter string, sharded bool) (Series, error) {
+	s := baseSeries("join", env, filter, sharded)
+	s.N = env.joinN
+	joiner, ok := ix.(engine.Joiner)
+	if !ok {
+		return s, fmt.Errorf("%T does not implement engine.Joiner", ix)
+	}
+	opt := engine.JoinOptions{ChainLength: chainOf(filter)}
+
+	ps, st, err := joiner.Join(ctx, opt) // warm pass
+	if err != nil {
+		return s, err
+	}
+	s.CandidatesPerOp = float64(st.Candidates)
+	s.ResultsPerOp = float64(len(ps))
+
+	ops := cfg.reps()
+	ns, allocs, bytes, err := measure(ops, func(int) error {
+		_, _, err := joiner.Join(ctx, opt)
+		return err
+	})
+	if err != nil {
+		return s, err
+	}
+	s.Ops, s.NsPerOp, s.AllocsPerOp, s.BytesPerOp = ops, ns, allocs, bytes
+	s.PairsPerSec = s.ResultsPerOp * 1e9 / ns
+
+	topt := opt
+	topt.Timings = true
+	_, tst, err := joiner.Join(ctx, topt)
+	if err != nil {
+		return s, err
+	}
+	s.FilterNsPerOp = float64(tst.FilterNS)
+	s.VerifyNsPerOp = float64(tst.VerifyNS)
+	return s, nil
+}
+
+func baseSeries(workload string, env problemEnv, filter string, sharded bool) Series {
+	shards := 1
+	if sharded {
+		shards = env.shards
+	}
+	return Series{
+		Name:     seriesName(workload, env.problem, filter, sharded),
+		Problem:  env.problem,
+		Workload: workload,
+		Filter:   filter,
+		Shards:   shards,
+	}
+}

@@ -460,13 +460,15 @@ func TestSearchLimit(t *testing.T) {
 // distinguishable deadline_exceeded code and bumps the cancelled
 // counter. The server runs with one fan-out worker, so its 64 graph
 // shards are searched strictly in sequence with a context check
-// before each; tens of milliseconds of GED work give a 1 ms deadline
-// ample room to fire at one of those checks even when a saturated
-// single-CPU runner delays the context's timer by a scheduling
-// quantum.
+// before each. The corpus is sized so the full search takes well over
+// 50 ms of CPU-bound GED work: on a GOMAXPROCS=1 runner the context's
+// 1 ms timer only runs once async preemption interrupts the search
+// goroutine (observed 10–20 ms late), so the search must comfortably
+// outlast that worst case or the test races the scheduler — it did at
+// N=4000 once the PR-4 allocation pass sped graph search up.
 func TestSearchDeadline(t *testing.T) {
 	h := newHarnessServer(t, New(1, 0))
-	h.load(LoadRequest{Problem: "graph", N: 4000, Seed: 9, Shards: 64})
+	h.load(LoadRequest{Problem: "graph", N: 20000, Seed: 9, Shards: 64})
 
 	qi := 1
 	code, body := h.post("/v1/search", SearchRequest{Problem: "graph", QueryID: &qi, TimeoutMS: 1}, nil)

@@ -16,7 +16,7 @@ import (
 
 // classTokens returns the class-k tokens of the coverage prefix of s.
 func classTokens(cfg Config, s tokenset.Set, t int) [][]int32 {
-	p, _, _ := cfg.prefixInfo(s, t)
+	p, _ := cfg.prefixInfo(s, t, make([]int, cfg.M))
 	out := make([][]int32, cfg.M)
 	for _, tok := range s[:p] {
 		k := cfg.classOf(tok)
@@ -92,7 +92,7 @@ func signatureCandidates(db *PKWiseDB, cfg Config, sets []tokenset.Set, q tokens
 // suffix-box safety net).
 func countMergeClassViable(db *PKWiseDB, q tokenset.Set) map[int32]bool {
 	cfg := db.cfg
-	plan, ok := db.plan(q)
+	plan, ok := db.plan(q, db.getScratch())
 	if !ok {
 		return nil
 	}

@@ -2,9 +2,10 @@ package setsim
 
 import (
 	"fmt"
-	"sort"
+	"sync"
 
 	"repro/internal/core"
+	"repro/internal/pairs"
 	"repro/internal/tokenset"
 )
 
@@ -18,6 +19,37 @@ type PKWiseDB struct {
 	px []int32
 	// postings maps a token to the ids whose prefix contains it.
 	postings map[int32][]int32
+	// scratch pools per-search working memory (pkScratch) so the hot
+	// path stays allocation-free across calls.
+	scratch sync.Pool
+}
+
+// pkScratch is the per-search working memory a PKWiseDB hands out from
+// its pool. counts is the n×(m−1) class-overlap table; it is cleared
+// row-by-row via the touched list on release, so clearing costs
+// O(touched·(m−1)), not O(n·(m−1)).
+type pkScratch struct {
+	counts  []uint16
+	touched []int32
+	boxes   core.Boxes
+	cnt     []int
+	t       []float64
+	results []int
+}
+
+func (db *PKWiseDB) getScratch() *pkScratch {
+	return db.scratch.Get().(*pkScratch)
+}
+
+func (db *PKWiseDB) putScratch(s *pkScratch) {
+	m := db.cfg.M
+	for _, id := range s.touched {
+		base := int(id) * (m - 1)
+		clear(s.counts[base : base+m-1])
+	}
+	s.touched = s.touched[:0]
+	s.results = s.results[:0]
+	db.scratch.Put(s)
 }
 
 // NewPKWiseDB builds the pkwise index: each set's prefix length is the
@@ -37,12 +69,21 @@ func NewPKWiseDB(sets []tokenset.Set, cfg Config) (*PKWiseDB, error) {
 		px:       make([]int32, len(sets)),
 		postings: make(map[int32][]int32),
 	}
+	cnt := make([]int, cfg.M)
 	for id, x := range sets {
 		t := cfg.minThreshold(len(x))
-		p, _, _ := cfg.prefixInfo(x, t)
+		p, _ := cfg.prefixInfo(x, t, cnt)
 		db.px[id] = int32(p)
 		for _, tok := range x[:p] {
 			db.postings[tok] = append(db.postings[tok], int32(id))
+		}
+	}
+	db.scratch.New = func() any {
+		return &pkScratch{
+			counts: make([]uint16, len(db.sets)*(cfg.M-1)),
+			boxes:  make(core.Boxes, cfg.M),
+			cnt:    make([]int, cfg.M),
+			t:      make([]float64, cfg.M),
 		}
 	}
 	return db, nil
@@ -62,18 +103,19 @@ func (db *PKWiseDB) Set(id int) tokenset.Set { return db.sets[id] }
 func (db *PKWiseDB) PrefixLen(id int) int { return int(db.px[id]) }
 
 // prefixInfo computes the class-coverage prefix of s for overlap
-// threshold t. It returns the prefix length, the per-class token counts
-// within the prefix (indexed 1..M-1), and the coverage shortfall: how
-// far Σ_k max(0, cnt_k−k+1) fell short of the target |s| − t + 1 when
-// the whole set had to be taken as the prefix. A positive shortfall
-// only occurs for tiny or class-skewed sets.
-func (c Config) prefixInfo(s tokenset.Set, t int) (p int, cnt []int, shortfall int) {
-	cnt = make([]int, c.M)
+// threshold t, filling cnt (len M, caller-provided scratch) with the
+// per-class token counts within the prefix (indexed 1..M-1). It
+// returns the prefix length and the coverage shortfall: how far
+// Σ_k max(0, cnt_k−k+1) fell short of the target |s| − t + 1 when the
+// whole set had to be taken as the prefix. A positive shortfall only
+// occurs for tiny or class-skewed sets.
+func (c Config) prefixInfo(s tokenset.Set, t int, cnt []int) (p int, shortfall int) {
+	clear(cnt)
 	target := len(s) - t + 1
 	if target <= 0 {
 		// The set can never reach the threshold (t > |s|) or exactly
 		// matches only when fully consumed; index nothing.
-		return 0, cnt, 0
+		return 0, 0
 	}
 	cov := 0
 	for i, tok := range s {
@@ -83,10 +125,10 @@ func (c Config) prefixInfo(s tokenset.Set, t int) (p int, cnt []int, shortfall i
 			cov++
 		}
 		if cov >= target {
-			return i + 1, cnt, 0
+			return i + 1, 0
 		}
 	}
-	return len(s), cnt, target - cov
+	return len(s), target - cov
 }
 
 // queryPlan carries the per-query derived quantities of the §6.2
@@ -104,15 +146,17 @@ type queryPlan struct {
 // plan computes the query prefix and the paper's threshold allocation:
 // t_0 = |q|−p_q+1, t_k = k if cnt_k ≥ k else cnt_k+1, which sums to
 // minT + m − 1. A coverage shortfall is subtracted from t_0 so the sum
-// never exceeds the Theorem 7 budget.
-func (db *PKWiseDB) plan(q tokenset.Set) (queryPlan, bool) {
+// never exceeds the Theorem 7 budget. The plan's cnt and t alias the
+// scratch s and stay valid only for the current search.
+func (db *PKWiseDB) plan(q tokenset.Set, s *pkScratch) (queryPlan, bool) {
 	cfg := db.cfg
 	minT := cfg.minThreshold(len(q))
-	p, cnt, shortfall := cfg.prefixInfo(q, minT)
+	cnt := s.cnt
+	p, shortfall := cfg.prefixInfo(q, minT, cnt)
 	if p == 0 {
 		return queryPlan{}, false
 	}
-	t := make([]float64, cfg.M)
+	t := s.t
 	t[0] = float64(len(q)-p+1) - float64(shortfall)
 	for k := 1; k < cfg.M; k++ {
 		if cnt[k] >= k {
@@ -158,16 +202,19 @@ func (db *PKWiseDB) search(q tokenset.Set, chainLength int, verify bool) ([]int,
 	if l > m {
 		l = m
 	}
-	plan, ok := db.plan(q)
+	s := db.getScratch()
+	defer db.putScratch(s)
+	plan, ok := db.plan(q, s)
 	if !ok {
 		return nil, st, nil
 	}
+	// The Filter copies the thresholds out of plan.t at construction.
 	filter := core.NewIntegerReduction(plan.t, l, core.GE)
 	lo, hi := cfg.sizeBounds(len(q))
 
 	// Count class overlaps between prefixes via the inverted index.
-	counts := make([]uint16, len(db.sets)*(m-1))
-	var touched []int32
+	counts := s.counts
+	touched := s.touched
 	for _, tok := range plan.q[:plan.pq] {
 		k := cfg.classOf(tok)
 		post := db.postings[tok]
@@ -184,22 +231,28 @@ func (db *PKWiseDB) search(q tokenset.Set, chainLength int, verify bool) ([]int,
 			counts[base+k-1]++
 		}
 	}
+	s.touched = touched
 	st.Touched = len(touched)
 
-	boxes := make(core.Boxes, m)
-	var results []int
+	// The boxes scratch converts to core.BoxValues once here; decide
+	// writes through the concrete slice, the filter reads through the
+	// interface, both over the same backing array.
+	boxes := s.boxes
+	var bv core.BoxValues = boxes
+	results := s.results
 	for _, id := range touched {
 		base := int(id) * (m - 1)
-		if db.decide(plan, id, counts[base:base+m-1], boxes, filter, l, &st) && verify {
+		if db.decide(plan, id, counts[base:base+m-1], boxes, bv, filter, l, &st) && verify {
 			x := db.sets[id]
 			if tokenset.OverlapAtLeast(x, q, cfg.pairThreshold(len(x), len(q))) {
 				results = append(results, int(id))
 			}
 		}
 	}
-	sort.Ints(results)
-	st.Results = len(results)
-	return results, st, nil
+	s.results = results
+	out := pairs.SortedIDs(results)
+	st.Results = len(out)
+	return out, st, nil
 }
 
 // decide applies the per-object filtering decision shared by the
@@ -207,8 +260,10 @@ func (db *PKWiseDB) search(q tokenset.Set, chainLength int, verify bool) ([]int,
 // condition (some class box at threshold, or a potentially viable
 // suffix box) and, for l ≥ 2, the pigeonring chain check over the
 // class boxes with the optimistic suffix bound. counts holds the m−1
-// class overlaps of the object; boxes is caller-provided scratch.
-func (db *PKWiseDB) decide(plan queryPlan, id int32, counts []uint16, boxes core.Boxes, filter *core.Filter, l int, st *Stats) bool {
+// class overlaps of the object; boxes is caller-provided scratch and
+// bv its pre-converted core.BoxValues view (converting per candidate
+// would allocate on every chain check).
+func (db *PKWiseDB) decide(plan queryPlan, id int32, counts []uint16, boxes core.Boxes, bv core.BoxValues, filter *core.Filter, l int, st *Stats) bool {
 	x := db.sets[id]
 	m := db.cfg.M
 	classViable := false
@@ -234,7 +289,7 @@ func (db *PKWiseDB) decide(plan queryPlan, id int32, counts []uint16, boxes core
 	}
 	if l > 1 {
 		st.BoxChecks += m
-		if !filter.HasPrefixViableChain(boxes) {
+		if !filter.HasPrefixViableChain(bv) {
 			return false
 		}
 	}

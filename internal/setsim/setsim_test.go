@@ -48,14 +48,16 @@ func TestPaperExample10Prefixes(t *testing.T) {
 	cfg := figure3Config()
 	x := tokens("ACDEGHIJKLMN")
 	q := tokens("BCDFGHILMNOP")
-	px, cntX, shortX := cfg.prefixInfo(x, 9)
+	cntX := make([]int, cfg.M)
+	px, shortX := cfg.prefixInfo(x, 9, cntX)
 	if px != 9 || shortX != 0 {
 		t.Fatalf("px = %d (shortfall %d), want 9", px, shortX)
 	}
 	if cntX[1] != 1 || cntX[2] != 2 || cntX[3] != 1 || cntX[4] != 5 {
 		t.Errorf("x class counts = %v", cntX)
 	}
-	pq, cntQ, shortQ := cfg.prefixInfo(q, 9)
+	cntQ := make([]int, cfg.M)
+	pq, shortQ := cfg.prefixInfo(q, 9, cntQ)
 	if pq != 9 || shortQ != 0 {
 		t.Fatalf("pq = %d (shortfall %d), want 9", pq, shortQ)
 	}
@@ -66,7 +68,7 @@ func TestPaperExample10Prefixes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, ok := db.plan(q)
+	plan, ok := db.plan(q, db.getScratch())
 	if !ok {
 		t.Fatal("no plan")
 	}

@@ -223,9 +223,17 @@ func minGramEditExact(gram string, p int, text string, tau int) int {
 	window := text[w0 : w1+1]
 	// dp[j] = min edit distance of gram[0..i) to a substring of window
 	// ending at j (free start). Answer: min over j of dp at i = κ.
+	// The window spans at most κ+2τ bytes, so the two rows live on the
+	// stack for every realistic (κ, τ); only degenerate configurations
+	// fall back to the heap.
 	n := len(window)
-	prev := make([]int, n+1)
-	cur := make([]int, n+1)
+	var prevBuf, curBuf [64]int
+	var prev, cur []int
+	if n+1 <= len(prevBuf) {
+		prev, cur = prevBuf[:n+1], curBuf[:n+1]
+	} else {
+		prev, cur = make([]int, n+1), make([]int, n+1)
+	}
 	// Row 0: empty gram matches the empty substring ending anywhere.
 	for j := range prev {
 		prev[j] = 0

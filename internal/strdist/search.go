@@ -2,9 +2,10 @@ package strdist
 
 import (
 	"fmt"
-	"sort"
+	"sync"
 
 	"repro/internal/core"
+	"repro/internal/pairs"
 )
 
 // Options configure a search over an edit-distance DB.
@@ -67,6 +68,34 @@ type DB struct {
 	// short holds ids of strings too short to carry τ+1 pivotal grams;
 	// they bypass filtering.
 	short []int32
+	// scratch pools per-search working memory (strScratch) so the hot
+	// path stays allocation-free across calls.
+	scratch sync.Pool
+}
+
+// strScratch is the per-search working memory a DB hands out from its
+// pool: the processed-id map (cleared via the marked list on release),
+// the query pivotal masks, and the reusable result buffer (Search
+// copies it into an exact-size slice before returning).
+type strScratch struct {
+	processed []uint8
+	marked    []int32
+	qMasks    []uint64
+	results   []int
+}
+
+func (db *DB) getScratch() *strScratch {
+	return db.scratch.Get().(*strScratch)
+}
+
+func (db *DB) putScratch(s *strScratch) {
+	for _, id := range s.marked {
+		s.processed[id] = 0
+	}
+	s.marked = s.marked[:0]
+	s.qMasks = s.qMasks[:0]
+	s.results = s.results[:0]
+	db.scratch.Put(s)
 }
 
 type pivPosting struct {
@@ -120,6 +149,9 @@ func NewDB(strs []string, dict *GramDict, tau int) (*DB, error) {
 			db.preIdx[g.ID] = append(db.preIdx[g.ID], prePosting{int32(id), g.Pos})
 		}
 	}
+	db.scratch.New = func() any {
+		return &strScratch{processed: make([]uint8, len(db.strs))}
+	}
 	return db, nil
 }
 
@@ -146,13 +178,14 @@ func (db *DB) Search(q string, opt Options) ([]int, Stats, error) {
 	}
 	filter := core.NewUniform(float64(tau), m, l, core.LE)
 
-	var results []int
+	s := db.getScratch()
+	defer db.putScratch(s)
 	verify := func(id int32) {
 		if opt.SkipVerify {
 			return
 		}
 		if EditDistanceWithin(db.strs[id], q, tau) >= 0 {
-			results = append(results, int(id))
+			s.results = append(s.results, int(id))
 		}
 	}
 
@@ -179,18 +212,18 @@ func (db *DB) Search(q string, opt Options) ([]int, Stats, error) {
 				verify(int32(id))
 			}
 		}
-		sort.Ints(results)
-		st.Results = len(results)
-		return results, st, nil
+		out := pairs.SortedIDs(s.results)
+		st.Results = len(out)
+		return out, st, nil
 	}
 	qLast := qPrefix[len(qPrefix)-1].ID
-	qPivMasks := make([]uint64, len(qPivotal))
-	for b, g := range qPivotal {
-		qPivMasks[b] = charMask(q[g.Pos : g.Pos+int32(kappa)])
+	for _, g := range qPivotal {
+		s.qMasks = append(s.qMasks, charMask(q[g.Pos:g.Pos+int32(kappa)]))
 	}
+	qPivMasks := s.qMasks
 
 	// processed[id]: 0 unseen, 1 decided.
-	processed := make([]uint8, len(db.strs))
+	processed := s.processed
 	// The lazy, memoized box ring is shared across candidates: the
 	// captured pivotal/masks/text variables are repointed per object
 	// and the memo reset, avoiding per-candidate allocations.
@@ -206,6 +239,7 @@ func (db *DB) Search(q string, opt Options) ([]int, Stats, error) {
 			return
 		}
 		processed[id] = 1
+		s.marked = append(s.marked, id)
 		x := db.strs[id]
 		if diff(len(x), len(q)) > tau {
 			return
@@ -271,9 +305,9 @@ func (db *DB) Search(q string, opt Options) ([]int, Stats, error) {
 		}
 	}
 
-	sort.Ints(results)
-	st.Results = len(results)
-	return results, st, nil
+	out := pairs.SortedIDs(s.results)
+	st.Results = len(out)
+	return out, st, nil
 }
 
 // SearchLinear scans the whole database with the banded verifier; it is
