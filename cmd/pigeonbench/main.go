@@ -20,7 +20,10 @@
 // With -compare the exit code is 1 when any tracked series regressed
 // beyond -tolerance on the -metrics (default allocs/op,cands/op — the
 // machine-independent gate; add ns/op only when baseline and current
-// run on the same hardware).
+// run on the same hardware). -summary additionally appends a markdown
+// before/after table versus the -compare baseline to a file — CI
+// points it at $GITHUB_STEP_SUMMARY so per-PR deltas show on the run
+// page without downloading the artifact.
 package main
 
 import (
@@ -42,6 +45,7 @@ func main() {
 		compare   = flag.String("compare", "", "baseline report to gate against; regressions make the exit code 1")
 		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional growth per metric before -compare fails")
 		metrics   = flag.String("metrics", "allocs/op,cands/op", "comma-separated metrics for -compare: ns/op, allocs/op, cands/op")
+		summary   = flag.String("summary", "", "append a markdown delta table vs the -compare baseline to this file (e.g. $GITHUB_STEP_SUMMARY)")
 		workers   = flag.Int("workers", 0, "engine worker bound (0 = GOMAXPROCS)")
 		quiet     = flag.Bool("q", false, "suppress per-series progress on stderr")
 	)
@@ -49,6 +53,24 @@ func main() {
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "pigeonbench: unexpected arguments %q\n", flag.Args())
 		os.Exit(2)
+	}
+	// Validate the flag combination and read the baseline files before
+	// the run: a typo'd path or a -summary without -compare must fail
+	// in milliseconds, not after the whole multi-minute suite.
+	if *summary != "" && *compare == "" {
+		fatal(fmt.Errorf("-summary requires -compare (the table is a delta against a baseline)"))
+	}
+	var prevRep, baseRep *perfbench.Report
+	var err error
+	if *prev != "" {
+		if prevRep, err = perfbench.ReadReport(*prev); err != nil {
+			fatal(err)
+		}
+	}
+	if *compare != "" {
+		if baseRep, err = perfbench.ReadReport(*compare); err != nil {
+			fatal(err)
+		}
 	}
 
 	cfg := perfbench.Config{
@@ -68,11 +90,7 @@ func main() {
 		fatal(err)
 	}
 
-	if *prev != "" {
-		prevRep, err := perfbench.ReadReport(*prev)
-		if err != nil {
-			fatal(err)
-		}
+	if prevRep != nil {
 		rep.AnnotatePrev(prevRep)
 	}
 
@@ -86,10 +104,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s (%d series)\n", *out, len(rep.Series))
 	}
 
-	if *compare != "" {
-		base, err := perfbench.ReadReport(*compare)
-		if err != nil {
-			fatal(err)
+	if baseRep != nil {
+		base := baseRep
+		if *summary != "" {
+			// Append (not truncate): $GITHUB_STEP_SUMMARY may already
+			// hold other steps' sections.
+			f, err := os.OpenFile(*summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+			if err != nil {
+				fatal(err)
+			}
+			err = perfbench.WriteMarkdownDelta(f, base, rep)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fatal(err)
+			}
 		}
 		var ms []string
 		for _, m := range strings.Split(*metrics, ",") {

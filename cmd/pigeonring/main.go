@@ -47,7 +47,7 @@ func main() {
 	tau := flag.Float64("tau", -1, "threshold (defaults per problem)")
 	l := flag.Int("l", 0, "chain length (defaults to the paper's tuning)")
 	queries := flag.Int("queries", 10, "number of sampled queries")
-	shards := flag.Int("shards", 1, "engine shards per index")
+	shards := flag.Int("shards", 1, "engine shards per index (-1 = auto by corpus size)")
 	limit := flag.Int("limit", 0, "stop each search after the first k ids (0 = all)")
 	seed := flag.Int64("seed", 42, "dataset seed")
 	flag.Parse()

@@ -16,7 +16,50 @@ import (
 // data: one plain adapter for shards ≤ 1, otherwise a Sharded over
 // contiguous slices, with the per-shard indexes built in parallel.
 // Global ids always equal positions in the input slice, sharded or
-// not.
+// not. Passing AutoShards selects the shard count from the corpus
+// size via AutoShardCount.
+
+// AutoShards, passed as the shard count of any Build* constructor,
+// selects the shard count automatically from the corpus size via
+// AutoShardCount.
+const AutoShards = -1
+
+// Auto-sharding constants, from the measured fan-out crossover (see
+// AutoShardCount): below autoShardMin objects a single shard always
+// wins; above it, one shard per autoShardUnit objects, never more
+// than autoShardMax.
+const (
+	autoShardMin  = 50_000
+	autoShardUnit = 25_000
+	autoShardMax  = 8
+)
+
+// AutoShardCount returns the shard count AutoShards resolves to for an
+// n-object corpus: 1 below 50,000 objects, then one shard per 25,000
+// objects, capped at 8. The function is deterministic — a pure
+// function of n, never of the host — so an index built with AutoShards
+// has the same layout (and byte-identical results) everywhere.
+//
+// The constants come from measuring the shard fan-out on the
+// trajectory workloads: each extra shard costs ~10–20µs of dispatch
+// and merge per query, which dominates until a shard holds tens of
+// thousands of objects (at 2,000 objects a 4-shard search is 2–4×
+// slower than unsharded on every backend). Sharding pays off for
+// latency only once per-shard work amortizes that fixed cost —
+// ~25,000 objects per shard — and additionally requires free cores;
+// the cap keeps the fan-out below the worker-pool sizes deployments
+// actually run. Callers who measure a different crossover on their
+// hardware override by passing an explicit shard count.
+func AutoShardCount(n int) int {
+	if n < autoShardMin {
+		return 1
+	}
+	shards := n / autoShardUnit
+	if shards > autoShardMax {
+		shards = autoShardMax
+	}
+	return shards
+}
 
 // chunks splits n items into the given number of nearly equal
 // contiguous ranges, clamping the shard count into [1, n]. n = 0
@@ -48,10 +91,13 @@ func chunks(n, shards int) [][2]int {
 
 // buildSharded builds one shard index per chunk in parallel and
 // composes them. workers bounds both the build and the per-query
-// fan-out.
+// fan-out. shards == AutoShards resolves via AutoShardCount.
 func buildSharded(n, shards, workers int, build func(lo, hi int) (Index, error)) (Index, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("engine: empty database")
+	}
+	if shards == AutoShards {
+		shards = AutoShardCount(n)
 	}
 	ranges := chunks(n, shards)
 	if len(ranges) == 1 {

@@ -9,35 +9,10 @@ package graph
 // vertices to b's vertices or ε (deletion), ordered by descending
 // degree, pruned with the remaining-label-multiset lower bound.
 func GEDWithin(a, b *Graph, tau int) int {
-	if tau < 0 {
-		return -1
-	}
-	// Cheap global bound first.
-	la, lb := Labels(a), Labels(b)
-	if LabelLowerBound(la, lb, a.n, b.n, a.EdgeCount(), b.EdgeCount()) > tau {
-		return -1
-	}
-	s := &gedState{a: a, b: b, tau: tau, best: tau + 1}
-	s.order = degreeOrder(a)
-	s.bEdges = b.Edges()
-	s.phi = make([]int, a.n)
-	for i := range s.phi {
-		s.phi[i] = -1
-	}
-	s.usedB = make([]bool, b.n)
-	s.remA = make(map[int32]int)
-	s.remB = make(map[int32]int)
-	for _, l := range a.vlab {
-		s.remA[l]++
-	}
-	for _, l := range b.vlab {
-		s.remB[l]++
-	}
-	s.search(0, 0)
-	if s.best > tau {
-		return -1
-	}
-	return s.best
+	ks := getKernel()
+	d := ks.gedWithin(a, b, tau)
+	putKernel(ks)
+	return d
 }
 
 // GED returns the exact graph edit distance, for small graphs (tests
@@ -51,6 +26,8 @@ func GED(a, b *Graph) int {
 	}
 }
 
+// gedState is the branch-and-bound state, embedded in kernelScratch so
+// every buffer and map is reused across calls.
 type gedState struct {
 	a, b   *Graph
 	tau    int
@@ -61,15 +38,57 @@ type gedState struct {
 	usedB  []bool
 	remA   map[int32]int
 	remB   map[int32]int
+	la, lb LabelVector
 }
 
-func degreeOrder(g *Graph) []int {
-	order := make([]int, g.n)
+// gedWithin is the pooled kernel behind GEDWithin.
+func (ks *kernelScratch) gedWithin(a, b *Graph, tau int) int {
+	if tau < 0 {
+		return -1
+	}
+	s := &ks.ged
+	// Cheap global bound first.
+	labelsInto(a, &s.la)
+	labelsInto(b, &s.lb)
+	if LabelLowerBound(s.la, s.lb, a.n, b.n, a.e, b.e) > tau {
+		return -1
+	}
+	s.a, s.b, s.tau, s.best = a, b, tau, tau+1
+	s.order = degreeOrderInto(a, s.order)
+	s.bEdges = b.appendEdges(s.bEdges[:0])
+	s.phi = growInts(s.phi, a.n)
+	for i := range s.phi {
+		s.phi[i] = -1
+	}
+	s.usedB = growBoolsClear(s.usedB, b.n)
+	if s.remA == nil {
+		s.remA = make(map[int32]int)
+		s.remB = make(map[int32]int)
+	}
+	clear(s.remA)
+	clear(s.remB)
+	for _, l := range a.vlab {
+		s.remA[l]++
+	}
+	for _, l := range b.vlab {
+		s.remB[l]++
+	}
+	s.search(0, 0)
+	if s.best > tau {
+		return -1
+	}
+	return s.best
+}
+
+// degreeOrderInto fills buf with g's vertices in descending degree
+// order and returns it.
+func degreeOrderInto(g *Graph, buf []int) []int {
+	order := growInts(buf, g.n)
 	for i := range order {
 		order[i] = i
 	}
 	for i := 1; i < len(order); i++ {
-		for j := i; j > 0 && g.Degree(order[j]) > g.Degree(order[j-1]); j-- {
+		for j := i; j > 0 && g.deg[order[j]] > g.deg[order[j-1]]; j-- {
 			order[j], order[j-1] = order[j-1], order[j]
 		}
 	}
@@ -130,41 +149,14 @@ func (s *gedState) search(step, cost int) {
 	ul := s.a.vlab[u]
 
 	// Try mapping u to each unused b-vertex, label matches first.
-	try := func(v int) {
-		delta := 0
-		vl := s.b.vlab[v]
-		if ul != vl {
-			delta++
-		}
-		// Edges between u and previously mapped a-vertices.
-		for _, w := range s.order[:step] {
-			e1 := s.a.elab[u*s.a.n+w]
-			var e2 int32 = -1
-			if pw := s.phi[w]; pw >= 0 {
-				e2 = s.b.elab[v*s.b.n+pw]
-			}
-			if e1 != e2 && (e1 >= 0 || e2 >= 0) {
-				delta++
-			}
-		}
-		s.phi[u] = v
-		s.usedB[v] = true
-		s.remA[ul]--
-		s.remB[vl]--
-		s.search(step+1, cost+delta)
-		s.remB[vl]++
-		s.remA[ul]++
-		s.usedB[v] = false
-		s.phi[u] = -1
-	}
 	for v := 0; v < s.b.n; v++ {
 		if !s.usedB[v] && s.b.vlab[v] == ul {
-			try(v)
+			s.tryMap(step, cost, u, ul, v)
 		}
 	}
 	for v := 0; v < s.b.n; v++ {
 		if !s.usedB[v] && s.b.vlab[v] != ul {
-			try(v)
+			s.tryMap(step, cost, u, ul, v)
 		}
 	}
 
@@ -182,4 +174,33 @@ func (s *gedState) search(step, cost int) {
 	// Note: phi[u] stays -1 (ε) during deeper steps.
 	s.search(step+1, cost+delta)
 	s.remA[ul]++
+}
+
+// tryMap maps a-vertex u onto b-vertex v and recurses.
+func (s *gedState) tryMap(step, cost, u int, ul int32, v int) {
+	delta := 0
+	vl := s.b.vlab[v]
+	if ul != vl {
+		delta++
+	}
+	// Edges between u and previously mapped a-vertices.
+	for _, w := range s.order[:step] {
+		e1 := s.a.elab[u*s.a.n+w]
+		var e2 int32 = -1
+		if pw := s.phi[w]; pw >= 0 {
+			e2 = s.b.elab[v*s.b.n+pw]
+		}
+		if e1 != e2 && (e1 >= 0 || e2 >= 0) {
+			delta++
+		}
+	}
+	s.phi[u] = v
+	s.usedB[v] = true
+	s.remA[ul]--
+	s.remB[vl]--
+	s.search(step+1, cost+delta)
+	s.remB[vl]++
+	s.remA[ul]++
+	s.usedB[v] = false
+	s.phi[u] = -1
 }

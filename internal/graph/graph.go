@@ -30,11 +30,14 @@ const Wildcard int32 = -2
 // Graph is an undirected graph with labeled vertices and labeled edges,
 // stored as an adjacency matrix of edge labels (-1 = no edge). Graphs
 // in this package are small (tens of vertices), where the matrix form
-// makes isomorphism tests fastest.
+// makes isomorphism tests fastest. Edge counts and vertex degrees are
+// maintained incrementally so the match kernels read them in O(1).
 type Graph struct {
 	n    int
 	vlab []int32
 	elab []int32 // n×n, symmetric, -1 when absent
+	deg  []int   // per-vertex degree
+	e    int     // number of edges
 }
 
 // New returns a graph with n unlabeled (label 0) vertices and no edges.
@@ -42,7 +45,7 @@ func New(n int) *Graph {
 	if n < 0 {
 		panic("graph: negative vertex count")
 	}
-	g := &Graph{n: n, vlab: make([]int32, n), elab: make([]int32, n*n)}
+	g := &Graph{n: n, vlab: make([]int32, n), elab: make([]int32, n*n), deg: make([]int, n)}
 	for i := range g.elab {
 		g.elab[i] = -1
 	}
@@ -66,12 +69,22 @@ func (g *Graph) AddEdge(u, v int, label int32) {
 	if label < 0 {
 		panic("graph: edge labels must be non-negative")
 	}
+	if g.elab[u*g.n+v] < 0 {
+		g.e++
+		g.deg[u]++
+		g.deg[v]++
+	}
 	g.elab[u*g.n+v] = label
 	g.elab[v*g.n+u] = label
 }
 
 // RemoveEdge deletes the edge {u, v} if present.
 func (g *Graph) RemoveEdge(u, v int) {
+	if g.elab[u*g.n+v] >= 0 {
+		g.e--
+		g.deg[u]--
+		g.deg[v]--
+	}
 	g.elab[u*g.n+v] = -1
 	g.elab[v*g.n+u] = -1
 }
@@ -83,28 +96,10 @@ func (g *Graph) EdgeLabel(u, v int) int32 { return g.elab[u*g.n+v] }
 func (g *Graph) HasEdge(u, v int) bool { return g.elab[u*g.n+v] >= 0 }
 
 // Degree returns the number of edges incident to v.
-func (g *Graph) Degree(v int) int {
-	d := 0
-	for u := 0; u < g.n; u++ {
-		if g.elab[v*g.n+u] >= 0 {
-			d++
-		}
-	}
-	return d
-}
+func (g *Graph) Degree(v int) int { return g.deg[v] }
 
 // EdgeCount returns the number of edges.
-func (g *Graph) EdgeCount() int {
-	c := 0
-	for u := 0; u < g.n; u++ {
-		for v := u + 1; v < g.n; v++ {
-			if g.elab[u*g.n+v] >= 0 {
-				c++
-			}
-		}
-	}
-	return c
-}
+func (g *Graph) EdgeCount() int { return g.e }
 
 // Edge is an undirected labeled edge with U < V.
 type Edge struct {
@@ -114,21 +109,70 @@ type Edge struct {
 
 // Edges returns all edges with U < V, in lexicographic order.
 func (g *Graph) Edges() []Edge {
-	var out []Edge
+	return g.appendEdges(make([]Edge, 0, g.e))
+}
+
+// appendEdges appends all edges (U < V, lexicographic) to buf and
+// returns it — the allocation-free form the pooled kernels use.
+func (g *Graph) appendEdges(buf []Edge) []Edge {
 	for u := 0; u < g.n; u++ {
 		for v := u + 1; v < g.n; v++ {
 			if l := g.elab[u*g.n+v]; l >= 0 {
-				out = append(out, Edge{u, v, l})
+				buf = append(buf, Edge{u, v, l})
 			}
 		}
 	}
-	return out
+	return buf
 }
 
 // Clone returns a deep copy.
 func (g *Graph) Clone() *Graph {
-	c := &Graph{n: g.n, vlab: append([]int32(nil), g.vlab...), elab: append([]int32(nil), g.elab...)}
+	c := &Graph{
+		n:    g.n,
+		vlab: append([]int32(nil), g.vlab...),
+		elab: append([]int32(nil), g.elab...),
+		deg:  append([]int(nil), g.deg...),
+		e:    g.e,
+	}
 	return c
+}
+
+// copyFrom makes g a deep copy of src, reusing g's buffers — the
+// pooled replacement for Clone in the deletion-neighbourhood walk.
+func (g *Graph) copyFrom(src *Graph) {
+	g.n = src.n
+	g.e = src.e
+	g.vlab = append(g.vlab[:0], src.vlab...)
+	g.elab = append(g.elab[:0], src.elab...)
+	g.deg = append(g.deg[:0], src.deg...)
+}
+
+// induceInto writes the subgraph of g induced by vs into dst, reusing
+// dst's buffers.
+func (g *Graph) induceInto(dst *Graph, vs []int) {
+	n := len(vs)
+	dst.n = n
+	dst.e = 0
+	dst.vlab = growInt32s(dst.vlab, n)
+	dst.elab = growInt32s(dst.elab, n*n)
+	dst.deg = growIntsZero(dst.deg, n)
+	for i := range dst.elab {
+		dst.elab[i] = -1
+	}
+	for i, v := range vs {
+		dst.vlab[i] = g.vlab[v]
+	}
+	for i, u := range vs {
+		for j := i + 1; j < n; j++ {
+			if l := g.elab[u*g.n+vs[j]]; l >= 0 {
+				dst.elab[i*n+j] = l
+				dst.elab[j*n+i] = l
+				dst.deg[i]++
+				dst.deg[j]++
+				dst.e++
+			}
+		}
+	}
 }
 
 // InducedSubgraph returns the subgraph induced by the given vertices
@@ -161,14 +205,30 @@ type LabelVector struct {
 
 // Labels returns the vertex- and edge-label multisets of g.
 func Labels(g *Graph) LabelVector {
-	lv := LabelVector{vcount: make(map[int32]int), ecount: make(map[int32]int)}
+	var lv LabelVector
+	labelsInto(g, &lv)
+	return lv
+}
+
+// labelsInto fills lv with g's label multisets, reusing lv's maps —
+// the allocation-free form the pooled kernels and searches use.
+func labelsInto(g *Graph, lv *LabelVector) {
+	if lv.vcount == nil {
+		lv.vcount = make(map[int32]int)
+		lv.ecount = make(map[int32]int)
+	}
+	clear(lv.vcount)
+	clear(lv.ecount)
 	for _, l := range g.vlab {
 		lv.vcount[l]++
 	}
-	for _, e := range g.Edges() {
-		lv.ecount[e.Label]++
+	for u := 0; u < g.n; u++ {
+		for v := u + 1; v < g.n; v++ {
+			if l := g.elab[u*g.n+v]; l >= 0 {
+				lv.ecount[l]++
+			}
+		}
 	}
-	return lv
 }
 
 // LabelLowerBound returns a cheap admissible lower bound on ged(a, b):

@@ -1,0 +1,67 @@
+package graph
+
+import "sync"
+
+// kernelScratch is the pooled match state of the subgraph-isomorphism,
+// deletion-neighbourhood and GED kernels. The kernels recurse on one
+// scratch but never overlap two independent top-level invocations, so
+// a DB search holds a single scratch for every box probe and
+// verification of a query; the exported entry points
+// (SubgraphIsomorphic, MinDeletionOps, GEDWithin) draw from a package
+// pool instead.
+type kernelScratch struct {
+	// Subgraph isomorphism backtracking state.
+	order  []int
+	placed []bool
+	phi    []int
+	used   []bool
+	// Deletion-neighbourhood variant walk: the private mutable copy of
+	// the part (replacing the old per-call Clone) and the
+	// isolated-vertex subset machinery.
+	vg       Graph
+	sub      Graph
+	isolated []int
+	drop     []bool
+	keep     []int
+	// GED branch-and-bound state.
+	ged gedState
+}
+
+var kernelPool = sync.Pool{New: func() any { return new(kernelScratch) }}
+
+func getKernel() *kernelScratch   { return kernelPool.Get().(*kernelScratch) }
+func putKernel(ks *kernelScratch) { kernelPool.Put(ks) }
+
+// growInts returns b with length n, reusing its backing array when it
+// is large enough. Contents are unspecified.
+func growInts(b []int, n int) []int {
+	if cap(b) < n {
+		return make([]int, n)
+	}
+	return b[:n]
+}
+
+// growIntsZero is growInts with every element reset to zero.
+func growIntsZero(b []int, n int) []int {
+	b = growInts(b, n)
+	clear(b)
+	return b
+}
+
+// growInt32s is growInts for int32 slices.
+func growInt32s(b []int32, n int) []int32 {
+	if cap(b) < n {
+		return make([]int32, n)
+	}
+	return b[:n]
+}
+
+// growBoolsClear returns b with length n and every element false.
+func growBoolsClear(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	clear(b)
+	return b
+}

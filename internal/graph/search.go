@@ -101,10 +101,14 @@ type DB struct {
 }
 
 // searchScratch is the per-search working memory a DB hands out from
-// its pool.
+// its pool: the box cache, the result buffer, one kernel scratch that
+// serves every box probe and GED verification of the query, and the
+// query's label multisets.
 type searchScratch struct {
 	cache   *boxCache
 	results []int
+	ks      *kernelScratch
+	qLabels LabelVector
 }
 
 // NewDB partitions every graph with BFSPartitioner.
@@ -146,7 +150,7 @@ func NewDBWithPartitioner(graphs []*Graph, tau int, part Partitioner) (*DB, erro
 		db.ecount[id] = g.EdgeCount()
 	}
 	db.scratch.New = func() any {
-		return &searchScratch{cache: newBoxCache(m)}
+		return &searchScratch{cache: newBoxCache(m), ks: new(kernelScratch)}
 	}
 	return db, nil
 }
@@ -183,8 +187,9 @@ func (c *boxCache) reset() {
 }
 
 // get returns the box-i lower bound resolved up to budget: a value ≤
-// budget is exact, budget+1 means "more than budget deletions".
-func (c *boxCache) get(i, budget int, part, q *Graph, st *Stats) int {
+// budget is exact, budget+1 means "more than budget deletions". The
+// probe runs on the caller's kernel scratch.
+func (c *boxCache) get(i, budget int, part, q *Graph, st *Stats, ks *kernelScratch) int {
 	if c.probed[i] >= 0 {
 		if c.val[i] <= c.probed[i] {
 			// Exact value known.
@@ -199,7 +204,7 @@ func (c *boxCache) get(i, budget int, part, q *Graph, st *Stats) int {
 		}
 	}
 	st.BoxChecks++
-	v := MinDeletionOps(part, q, budget)
+	v := ks.minDeletionOps(part, q, budget)
 	c.probed[i] = budget
 	c.val[i] = v
 	return v
@@ -227,13 +232,14 @@ func (db *DB) Search(q *Graph, opt Options) ([]int, Stats, error) {
 		l = m
 	}
 
-	qLabels := Labels(q)
-	qEdges := q.EdgeCount()
 	s := db.scratch.Get().(*searchScratch)
 	defer func() {
 		s.results = s.results[:0]
 		db.scratch.Put(s)
 	}()
+	labelsInto(q, &s.qLabels)
+	qLabels := s.qLabels
+	qEdges := q.EdgeCount()
 	cache := s.cache
 	results := s.results
 	for id, g := range db.graphs {
@@ -247,7 +253,7 @@ func (db *DB) Search(q *Graph, opt Options) ([]int, Stats, error) {
 		candidate := false
 		for i := 0; i < m && !candidate; i++ {
 			// 1-prefix: the starting part must embed (box value 0).
-			if cache.get(i, 0, parts[i], q, &st) != 0 {
+			if cache.get(i, 0, parts[i], q, &st, s.ks) != 0 {
 				continue
 			}
 			candidate = true
@@ -259,7 +265,7 @@ func (db *DB) Search(q *Graph, opt Options) ([]int, Stats, error) {
 				if budget < 0 {
 					budget = 0
 				}
-				v := cache.get(j, budget, parts[j], q, &st)
+				v := cache.get(j, budget, parts[j], q, &st, s.ks)
 				sum += v
 				if float64(sum)*float64(m) > float64(lp)*float64(tau) {
 					candidate = false
@@ -271,7 +277,7 @@ func (db *DB) Search(q *Graph, opt Options) ([]int, Stats, error) {
 			continue
 		}
 		st.Candidates++
-		if !opt.SkipVerify && GEDWithin(g, q, tau) >= 0 {
+		if !opt.SkipVerify && s.ks.gedWithin(g, q, tau) >= 0 {
 			results = append(results, id)
 		}
 	}

@@ -6,71 +6,80 @@ package graph
 // g-edge with the same label. Extra edges in g are allowed (non-induced
 // embedding), which is the notion the partition filter needs.
 func SubgraphIsomorphic(p, g *Graph) bool {
+	ks := getKernel()
+	ok := ks.subgraphIsomorphic(p, g)
+	putKernel(ks)
+	return ok
+}
+
+// subgraphIsomorphic is the pooled kernel behind SubgraphIsomorphic.
+func (ks *kernelScratch) subgraphIsomorphic(p, g *Graph) bool {
 	if p.n == 0 {
 		return true
 	}
-	if p.n > g.n || p.EdgeCount() > g.EdgeCount() {
+	if p.n > g.n || p.e > g.e {
 		return false
 	}
-	order := matchOrder(p)
-	phi := make([]int, p.n)
-	used := make([]bool, g.n)
-	for i := range phi {
-		phi[i] = -1
+	ks.matchOrder(p)
+	ks.phi = growInts(ks.phi, p.n)
+	for i := range ks.phi {
+		ks.phi[i] = -1
 	}
-	var match func(step int) bool
-	match = func(step int) bool {
-		if step == len(order) {
-			return true
-		}
-		u := order[step]
-		ul := p.vlab[u]
-		ud := p.Degree(u)
-		for v := 0; v < g.n; v++ {
-			if used[v] {
-				continue
-			}
-			if ul != Wildcard && ul != g.vlab[v] {
-				continue
-			}
-			if ud > g.Degree(v) {
-				continue
-			}
-			ok := true
-			for w := 0; w < p.n; w++ {
-				el := p.elab[u*p.n+w]
-				if el < 0 || phi[w] < 0 {
-					continue
-				}
-				if g.elab[v*g.n+phi[w]] != el {
-					ok = false
-					break
-				}
-			}
-			if !ok {
-				continue
-			}
-			phi[u] = v
-			used[v] = true
-			if match(step + 1) {
-				return true
-			}
-			phi[u] = -1
-			used[v] = false
-		}
-		return false
-	}
-	return match(0)
+	ks.used = growBoolsClear(ks.used, g.n)
+	return ks.match(p, g, 0)
 }
 
-// matchOrder returns a vertex order that maps connected, high-degree
-// vertices early: start from the max-degree vertex, then repeatedly
-// pick the unmapped vertex with the most mapped neighbours (ties by
-// degree).
-func matchOrder(p *Graph) []int {
+// match is the backtracking step over ks.order.
+func (ks *kernelScratch) match(p, g *Graph, step int) bool {
+	if step == p.n {
+		return true
+	}
+	u := ks.order[step]
+	ul := p.vlab[u]
+	ud := p.deg[u]
+	for v := 0; v < g.n; v++ {
+		if ks.used[v] {
+			continue
+		}
+		if ul != Wildcard && ul != g.vlab[v] {
+			continue
+		}
+		if ud > g.deg[v] {
+			continue
+		}
+		ok := true
+		for w := 0; w < p.n; w++ {
+			el := p.elab[u*p.n+w]
+			if el < 0 || ks.phi[w] < 0 {
+				continue
+			}
+			if g.elab[v*g.n+ks.phi[w]] != el {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		ks.phi[u] = v
+		ks.used[v] = true
+		if ks.match(p, g, step+1) {
+			return true
+		}
+		ks.phi[u] = -1
+		ks.used[v] = false
+	}
+	return false
+}
+
+// matchOrder fills ks.order with a vertex order that maps connected,
+// high-degree vertices early: start from the max-degree vertex, then
+// repeatedly pick the unmapped vertex with the most mapped neighbours
+// (ties by degree).
+func (ks *kernelScratch) matchOrder(p *Graph) {
 	n := p.n
-	order := make([]int, 0, n)
-	placed := make([]bool, n)
+	order := growInts(ks.order, n)[:0]
+	placed := growBoolsClear(ks.placed, n)
 	for len(order) < n {
 		best, bestConn, bestDeg := -1, -1, -1
 		for u := 0; u < n; u++ {
@@ -83,7 +92,7 @@ func matchOrder(p *Graph) []int {
 					conn++
 				}
 			}
-			d := p.Degree(u)
+			d := p.deg[u]
 			if conn > bestConn || (conn == bestConn && d > bestDeg) {
 				best, bestConn, bestDeg = u, conn, d
 			}
@@ -91,7 +100,8 @@ func matchOrder(p *Graph) []int {
 		order = append(order, best)
 		placed[best] = true
 	}
-	return order
+	ks.order = order
+	ks.placed = placed
 }
 
 // MinDeletionOps returns the smallest k ≤ budget such that some variant
@@ -102,15 +112,23 @@ func matchOrder(p *Graph) []int {
 // embeds into q (each edit operation has a deletion "shadow"), the
 // result is an admissible lower bound for the §6.4 box value.
 func MinDeletionOps(part, q *Graph, budget int) int {
+	ks := getKernel()
+	v := ks.minDeletionOps(part, q, budget)
+	putKernel(ks)
+	return v
+}
+
+// minDeletionOps is the pooled kernel behind MinDeletionOps.
+func (ks *kernelScratch) minDeletionOps(part, q *Graph, budget int) int {
 	if budget < 0 {
 		budget = 0
 	}
-	// One defensive clone serves every budget step: existsVariant
-	// restores g before returning, and the clone keeps concurrent
-	// searches from racing on the shared indexed parts.
-	g := part.Clone()
+	// The variant walk mutates a private copy held in pooled buffers,
+	// which keeps concurrent searches from racing on the shared indexed
+	// parts without the old per-call Clone.
+	ks.vg.copyFrom(part)
 	for k := 0; k <= budget; k++ {
-		if existsVariant(g, q, k) {
+		if ks.existsVariant(&ks.vg, q, k) {
 			return k
 		}
 	}
@@ -121,17 +139,17 @@ func MinDeletionOps(part, q *Graph, budget int) int {
 // deletions in the canonical order edge-deletions → label wildcards →
 // isolated-vertex deletions, testing the embedding at every node. It
 // mutates g during the walk and restores it on return.
-func existsVariant(g *Graph, q *Graph, ops int) bool {
-	if SubgraphIsomorphic(g, q) {
+func (ks *kernelScratch) existsVariant(g *Graph, q *Graph, ops int) bool {
+	if ks.subgraphIsomorphic(g, q) {
 		return true
 	}
 	if ops == 0 {
 		return false
 	}
-	return deleteEdges(g, q, ops, 0)
+	return ks.deleteEdges(g, q, ops, 0)
 }
 
-func deleteEdges(g, q *Graph, ops, fromU int) bool {
+func (ks *kernelScratch) deleteEdges(g, q *Graph, ops, fromU int) bool {
 	if ops > 0 {
 		for u := fromU; u < g.n; u++ {
 			for v := u + 1; v < g.n; v++ {
@@ -140,7 +158,7 @@ func deleteEdges(g, q *Graph, ops, fromU int) bool {
 					continue
 				}
 				g.RemoveEdge(u, v)
-				if SubgraphIsomorphic(g, q) || deleteEdges(g, q, ops-1, u) {
+				if ks.subgraphIsomorphic(g, q) || ks.deleteEdges(g, q, ops-1, u) {
 					g.AddEdge(u, v, l)
 					return true
 				}
@@ -148,10 +166,10 @@ func deleteEdges(g, q *Graph, ops, fromU int) bool {
 			}
 		}
 	}
-	return wildcardLabels(g, q, ops, 0)
+	return ks.wildcardLabels(g, q, ops, 0)
 }
 
-func wildcardLabels(g, q *Graph, ops, fromV int) bool {
+func (ks *kernelScratch) wildcardLabels(g, q *Graph, ops, fromV int) bool {
 	if ops > 0 {
 		for v := fromV; v < g.n; v++ {
 			l := g.vlab[v]
@@ -159,30 +177,31 @@ func wildcardLabels(g, q *Graph, ops, fromV int) bool {
 				continue
 			}
 			g.vlab[v] = Wildcard
-			if SubgraphIsomorphic(g, q) || wildcardLabels(g, q, ops-1, v+1) {
+			if ks.subgraphIsomorphic(g, q) || ks.wildcardLabels(g, q, ops-1, v+1) {
 				g.vlab[v] = l
 				return true
 			}
 			g.vlab[v] = l
 		}
 	}
-	return deleteVertices(g, q, ops)
+	return ks.deleteVertices(g, q, ops)
 }
 
 // deleteVertices handles the final phase: deleting isolated vertices.
 // Deleting more vertices only relaxes the embedding, so any working
 // subset extends to a working subset of maximal size — but which
 // vertices are dropped matters, so all subsets of that size are tried.
-func deleteVertices(g, q *Graph, ops int) bool {
+func (ks *kernelScratch) deleteVertices(g, q *Graph, ops int) bool {
 	if ops == 0 {
 		return false
 	}
-	var isolated []int
+	isolated := ks.isolated[:0]
 	for v := 0; v < g.n; v++ {
-		if g.Degree(v) == 0 {
+		if g.deg[v] == 0 {
 			isolated = append(isolated, v)
 		}
 	}
+	ks.isolated = isolated
 	if len(isolated) == 0 {
 		return false
 	}
@@ -190,27 +209,31 @@ func deleteVertices(g, q *Graph, ops int) bool {
 	if k > len(isolated) {
 		k = len(isolated)
 	}
-	drop := make(map[int]bool, k)
-	var choose func(from, left int) bool
-	choose = func(from, left int) bool {
-		if left == 0 {
-			keep := make([]int, 0, g.n-k)
-			for v := 0; v < g.n; v++ {
-				if !drop[v] {
-					keep = append(keep, v)
-				}
+	ks.drop = growBoolsClear(ks.drop, g.n)
+	return ks.chooseDrop(g, q, isolated, 0, k)
+}
+
+// chooseDrop tries every k-subset of the isolated vertices, testing
+// the embedding of the induced remainder against q.
+func (ks *kernelScratch) chooseDrop(g, q *Graph, isolated []int, from, left int) bool {
+	if left == 0 {
+		keep := ks.keep[:0]
+		for v := 0; v < g.n; v++ {
+			if !ks.drop[v] {
+				keep = append(keep, v)
 			}
-			return SubgraphIsomorphic(g.InducedSubgraph(keep), q)
 		}
-		for i := from; i+left <= len(isolated); i++ {
-			drop[isolated[i]] = true
-			if choose(i+1, left-1) {
-				delete(drop, isolated[i])
-				return true
-			}
-			delete(drop, isolated[i])
-		}
-		return false
+		ks.keep = keep
+		g.induceInto(&ks.sub, keep)
+		return ks.subgraphIsomorphic(&ks.sub, q)
 	}
-	return choose(0, k)
+	for i := from; i+left <= len(isolated); i++ {
+		ks.drop[isolated[i]] = true
+		if ks.chooseDrop(g, q, isolated, i+1, left-1) {
+			ks.drop[isolated[i]] = false
+			return true
+		}
+		ks.drop[isolated[i]] = false
+	}
+	return false
 }

@@ -24,7 +24,9 @@ package hamming
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitvec"
 	"repro/internal/core"
@@ -97,10 +99,31 @@ type DB struct {
 	index []map[uint64][]int32
 	// sample ids used by the cost model.
 	sample []int32
+	// sampleVals[i]/sampleCnts[i] hold the deduplicated part-i values
+	// of the sample with their multiplicities, extracted at build time,
+	// so the cost model histograms cost one xor+popcount per distinct
+	// value instead of a PartDistance scan over every sample vector.
+	sampleVals [][]uint64
+	sampleCnts [][]int32
+	// histCache[i] memoizes the part-i sample distance histogram keyed
+	// by the query's part value: repeated queries (and every probe of a
+	// batch or join) skip the sample scan entirely. Entries across all
+	// parts are capped at roughly histCacheCap (the check-then-store is
+	// unsynchronized, so concurrent misses may overshoot by up to the
+	// number of in-flight searches); past the cap, histograms are
+	// recomputed into per-search scratch, so memory stays bounded under
+	// arbitrary query streams.
+	histCache   []sync.Map
+	histEntries atomic.Int64
 	// scratch pools per-search working memory (searchScratch) so the
 	// hot path stays allocation-free across calls.
 	scratch sync.Pool
 }
+
+// histCacheCap bounds the total number of cached per-part histograms.
+// At the cap the cache holds histCacheCap·(maxWidth+1) int32s — a few
+// megabytes for realistic partitionings.
+const histCacheCap = 1 << 14
 
 // searchScratch is the per-search working memory a DB hands out from
 // its pool: the accepted-id bitmap (cleared via the marked list on
@@ -113,8 +136,11 @@ type searchScratch struct {
 	qParts   []uint64
 	t        []int
 	tf       []float64
-	distHist [][]int
-	results  []int
+	// hists holds the per-part histogram views the allocator reads;
+	// histBuf is the fallback storage used when the cache is full.
+	hists   [][]int32
+	histBuf [][]int32
+	results []int
 }
 
 func (db *DB) getScratch() *searchScratch {
@@ -163,16 +189,40 @@ func NewDB(vecs []bitvec.Vector, m int) (*DB, error) {
 		sample = append(sample, int32(id))
 	}
 	db := &DB{vecs: vecs, part: part, index: index, sample: sample}
+	// Deduplicate the sample's part values once: the cost model only
+	// needs distances to these values, never the vectors themselves.
+	db.sampleVals = make([][]uint64, m)
+	db.sampleCnts = make([][]int32, m)
+	db.histCache = make([]sync.Map, m)
+	for i := 0; i < m; i++ {
+		counts := make(map[uint64]int32, len(sample))
+		for _, id := range sample {
+			counts[part.Extract(vecs[id], i)]++
+		}
+		vals := make([]uint64, 0, len(counts))
+		cnts := make([]int32, 0, len(counts))
+		for _, id := range sample {
+			v := part.Extract(vecs[id], i)
+			if c, ok := counts[v]; ok {
+				vals = append(vals, v)
+				cnts = append(cnts, c)
+				delete(counts, v)
+			}
+		}
+		db.sampleVals[i] = vals
+		db.sampleCnts[i] = cnts
+	}
 	db.scratch.New = func() any {
 		s := &searchScratch{
 			accepted: make([]bool, len(db.vecs)),
 			qParts:   make([]uint64, m),
 			t:        make([]int, m),
 			tf:       make([]float64, m),
-			distHist: make([][]int, m),
+			hists:    make([][]int32, m),
+			histBuf:  make([][]int32, m),
 		}
-		for i := range s.distHist {
-			s.distHist[i] = make([]int, part.Width(i)+1)
+		for i := range s.histBuf {
+			s.histBuf[i] = make([]int32, part.Width(i)+1)
 		}
 		return s
 	}
@@ -191,11 +241,41 @@ func (db *DB) M() int { return db.part.M() }
 // Vector returns the indexed vector with the given id.
 func (db *DB) Vector(id int) bitvec.Vector { return db.vecs[id] }
 
+// partHist returns the part-i sample distance histogram for a query
+// whose part-i value is qv: hist[k] = number of sample vectors whose
+// part i is at distance k. The result is a pure function of (index,
+// qv), served from the histogram cache when possible; on a miss it is
+// computed from the deduplicated sample values and cached until
+// histCacheCap entries exist, after which buf (scratch) is filled
+// instead.
+func (db *DB) partHist(i int, qv uint64, buf []int32) []int32 {
+	if h, ok := db.histCache[i].Load(qv); ok {
+		return h.([]int32)
+	}
+	h := buf
+	cache := db.histEntries.Load() < histCacheCap
+	if cache {
+		h = make([]int32, db.part.Width(i)+1)
+	} else {
+		clear(h)
+	}
+	for j, v := range db.sampleVals[i] {
+		h[bits.OnesCount64(v^qv)] += db.sampleCnts[i][j]
+	}
+	if cache {
+		if actual, loaded := db.histCache[i].LoadOrStore(qv, h); loaded {
+			return actual.([]int32)
+		}
+		db.histEntries.Add(1)
+	}
+	return h
+}
+
 // allocate chooses integer thresholds t_0..t_{m-1} summing to total,
-// written into s.t (reusing s.distHist for the cost model's sample
-// histograms). Negative thresholds disable a part (its box can never
-// be viable), which is how budgets below zero per part are expressed.
-func (db *DB) allocate(q bitvec.Vector, total int, mode Allocation, s *searchScratch) []int {
+// written into s.t, for a query with the given part values. Negative
+// thresholds disable a part (its box can never be viable), which is
+// how budgets below zero per part are expressed.
+func (db *DB) allocate(qParts []uint64, total int, mode Allocation, s *searchScratch) []int {
 	m := db.part.M()
 	t := s.t
 	if mode == AllocUniform {
@@ -225,14 +305,11 @@ func (db *DB) allocate(q bitvec.Vector, total int, mode Allocation, s *searchScr
 	if increments <= 0 {
 		return t
 	}
-	// distHist[i][k] = number of sample vectors whose part i is at
-	// distance k from the query part.
-	distHist := s.distHist
+	// hists[i][k] = number of sample vectors whose part i is at
+	// distance k from the query part, from the histogram cache.
+	hists := s.hists
 	for i := 0; i < m; i++ {
-		clear(distHist[i])
-		for _, id := range db.sample {
-			distHist[i][db.part.PartDistance(db.vecs[id], q, i)]++
-		}
+		hists[i] = db.partHist(i, qParts[i], s.histBuf[i])
 	}
 	scale := float64(len(db.vecs)) / float64(len(db.sample))
 	const enumWeight = 0.5 // relative cost of probing one ball value
@@ -242,7 +319,7 @@ func (db *DB) allocate(q bitvec.Vector, total int, mode Allocation, s *searchScr
 		if next > w {
 			return float64(1 << 62) // cannot widen further
 		}
-		cands := float64(distHist[i][next]) * scale
+		cands := float64(hists[i][next]) * scale
 		balls := float64(binom(w, next)) * enumWeight
 		return cands + balls
 	}
@@ -295,7 +372,11 @@ func (db *DB) Search(q bitvec.Vector, tau int, opt Options) ([]int, Stats, error
 	}
 	s := db.getScratch()
 	defer db.putScratch(s)
-	t := db.allocate(q, total, opt.Alloc, s)
+	qParts := s.qParts
+	for i := 0; i < m; i++ {
+		qParts[i] = db.part.Extract(q, i)
+	}
+	t := db.allocate(qParts, total, opt.Alloc, s)
 	// t aliases pooled scratch; Stats must not retain it past the call.
 	st.Thresholds = append(make([]int, 0, m), t...)
 
@@ -313,10 +394,6 @@ func (db *DB) Search(q bitvec.Vector, tau int, opt Options) ([]int, Stats, error
 
 	accepted := s.accepted
 	results := s.results
-	qParts := s.qParts
-	for i := 0; i < m; i++ {
-		qParts[i] = db.part.Extract(q, i)
-	}
 
 	// One lazy box ring is shared across all chain checks of the
 	// query; cur is repointed at the object under test, and the

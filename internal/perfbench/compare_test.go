@@ -166,3 +166,29 @@ func TestAnnotatePrev(t *testing.T) {
 		t.Error("Find on absent series should be nil")
 	}
 }
+
+func TestWriteMarkdownDelta(t *testing.T) {
+	base := mkReport(mkSeries("a", 1000, 50, 10), mkSeries("gone", 1, 1, 1), mkSeries("z", 100, 0, 1))
+	cur := mkReport(mkSeries("a", 500, 50, 11), mkSeries("fresh", 9, 9, 9), mkSeries("z", 100, 5, 1))
+	var buf strings.Builder
+	if err := WriteMarkdownDelta(&buf, base, cur); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"| a |",     // tracked series present
+		"-50.0%",    // ns halved
+		"±0%",       // allocs unchanged
+		"+10.0%",    // cands grew
+		"| fresh |", // new series listed
+		"new",       // ...marked as such
+		"+∞",        // tracked series regressing from a zero baseline
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown delta missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "| gone |") {
+		t.Error("series absent from the current run should not be listed")
+	}
+}

@@ -49,3 +49,50 @@ func ns(v float64) string {
 		return fmt.Sprintf("%.0fns", v)
 	}
 }
+
+// WriteMarkdownDelta renders a benchstat-style GitHub-flavoured
+// markdown table of cur against base — ns/op, allocs/op and cands/op
+// per series with fractional deltas — the content CI appends to
+// $GITHUB_STEP_SUMMARY so per-PR perf movement is visible without
+// downloading the trajectory artifact.
+func WriteMarkdownDelta(w io.Writer, base, cur *Report) (err error) {
+	// Every row matters for the truncation-is-an-error contract, so
+	// collect the first write failure instead of checking only the
+	// header and footer.
+	write := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	write("### pigeonbench: %s vs %s\n\n", cur.Tag, base.Tag)
+	write("| series | ns/op | Δns | allocs/op | Δallocs | cands/op | Δcands |\n")
+	write("|---|---:|---:|---:|---:|---:|---:|\n")
+	delta := func(b, c float64) string {
+		switch {
+		case b == c:
+			return "±0%"
+		case b == 0:
+			// The series exists in the baseline at zero, so a non-zero
+			// value is a regression from nothing, not a new series —
+			// the same case Compare reports as Growth = +Inf.
+			return "+∞"
+		default:
+			return fmt.Sprintf("%+.1f%%", (c/b-1)*100)
+		}
+	}
+	for i := range cur.Series {
+		c := &cur.Series[i]
+		b := base.Find(c.Name)
+		if b == nil {
+			write("| %s | %s | new | %.0f | new | %.1f | new |\n",
+				c.Name, ns(c.NsPerOp), c.AllocsPerOp, c.CandidatesPerOp)
+			continue
+		}
+		write("| %s | %s | %s | %.0f | %s | %.1f | %s |\n",
+			c.Name, ns(c.NsPerOp), delta(b.NsPerOp, c.NsPerOp),
+			c.AllocsPerOp, delta(b.AllocsPerOp, c.AllocsPerOp),
+			c.CandidatesPerOp, delta(b.CandidatesPerOp, c.CandidatesPerOp))
+	}
+	write("\n")
+	return err
+}

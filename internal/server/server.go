@@ -199,7 +199,9 @@ type LoadRequest struct {
 	// requires a Jaccard τ in (0, 1]. Hamming indexes accept
 	// per-search overrides; the others are built for this τ.
 	Tau *float64 `json:"tau,omitempty"`
-	// Shards is the number of index shards (default 1).
+	// Shards is the number of index shards (default 1). −1 selects the
+	// shard count automatically from the corpus size
+	// (engine.AutoShardCount); the response reports the resolved count.
 	Shards int `json:"shards,omitempty"`
 	// M is the part/box count: hamming partition parts (default d/16),
 	// set similarity boxes (default 5).
@@ -259,7 +261,9 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	if req.Seed == 0 {
 		req.Seed = 42
 	}
-	if req.Shards <= 0 {
+	if req.Shards == engine.AutoShards {
+		req.Shards = engine.AutoShardCount(req.N)
+	} else if req.Shards <= 0 {
 		req.Shards = 1
 	}
 	if req.Shards > maxLoadShards {

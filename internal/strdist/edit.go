@@ -80,8 +80,19 @@ func EditDistanceWithin(a, b string, tau int) int {
 	}
 	const inf = 1 << 30
 	width := 2*tau + 1
-	prev := make([]int, width)
-	cur := make([]int, width)
+	// The band is 2τ+1 wide, so the two rows live on the stack for
+	// every realistic τ; only degenerate thresholds fall back to the
+	// heap. Verification runs once per candidate, which made these two
+	// rows the dominant allocation of a whole search. The buffers are
+	// sized to the thresholds searches actually use — zeroing a larger
+	// array per call (duffzero) showed up in profiles.
+	var prevBuf, curBuf [16]int
+	var prev, cur []int
+	if width <= len(prevBuf) {
+		prev, cur = prevBuf[:width], curBuf[:width]
+	} else {
+		prev, cur = make([]int, width), make([]int, width)
+	}
 	// prev[k] = D(i-1, j) where j = (i-1) + (k - tau).
 	for k := range prev {
 		j := 0 + (k - tau)
@@ -175,7 +186,6 @@ func minGramBoxLB(gramMask uint64, kappa int, p int, text string, tau int) int {
 		return kappa
 	}
 	best := kappa // deleting the gram entirely always "aligns" it
-	var counts [64]uint8
 	for u := lo; u <= hi; u++ {
 		var m uint64
 		maxLen := kappa + tau
@@ -183,13 +193,8 @@ func minGramBoxLB(gramMask uint64, kappa int, p int, text string, tau int) int {
 			maxLen = len(text) - u
 		}
 		// Grow the substring one byte at a time, maintaining its mask.
-		for i := range counts {
-			counts[i] = 0
-		}
 		for ln := 1; ln <= maxLen; ln++ {
-			c := text[u+ln-1] & 63
-			counts[c]++
-			m |= 1 << c
+			m |= 1 << (text[u+ln-1] & 63)
 			if lb := contentLowerBound(gramMask, m); lb < best {
 				best = lb
 				if best == 0 {
@@ -199,6 +204,92 @@ func minGramBoxLB(gramMask uint64, kappa int, p int, text string, tau int) int {
 		}
 	}
 	return best
+}
+
+// appendPosMasks appends to buf, flattened with stride winLen = κ+τ,
+// the prefix substring masks mask(s[u:u+ln]) for every position u and
+// every length ln = 1..winLen, and returns buf. Lengths running past
+// the end of s repeat the last valid mask, which leaves minima
+// unchanged and keeps the probe loop branch-free. A search builds
+// this table once for its query into pooled scratch; every case-A box
+// of every candidate then probes it instead of rebuilding the masks
+// per window, which is what minGramBoxLB used to do per candidate.
+func appendPosMasks(buf []uint64, s string, winLen int) []uint64 {
+	for u := 0; u < len(s); u++ {
+		var m uint64
+		for k := 0; k < winLen; k++ {
+			if u+k < len(s) {
+				m |= 1 << (s[u+k] & 63)
+			}
+			buf = append(buf, m)
+		}
+	}
+	return buf
+}
+
+// minGramBoxLBMasks is minGramBoxLB evaluated against precomputed
+// per-position prefix masks (buildPosMasks of the text, stride
+// winLen = κ+τ): identical results, no per-window mask rebuild.
+func minGramBoxLBMasks(gramMask uint64, kappa, p int, posMasks []uint64, textLen, winLen, tau int) int {
+	lo := p - tau
+	if lo < 0 {
+		lo = 0
+	}
+	hi := p + tau
+	if hi > textLen-1 {
+		hi = textLen - 1
+	}
+	if hi < lo {
+		// No substring can align; the box is at least the cost of
+		// deleting the whole gram.
+		return kappa
+	}
+	// Track the raw xor popcount minimum and round up once at the end:
+	// x ↦ ⌈x/2⌉ is monotone, so the minima commute. The inner loop is
+	// a pure min-fold (no rounding, no branch on best), which the
+	// compiler turns into well-pipelined popcount+cmov chains.
+	rawBest := 2 * kappa // deleting the gram entirely always "aligns" it
+	for _, m := range posMasks[lo*winLen : (hi+1)*winLen] {
+		rawBest = min(rawBest, bits.OnesCount64(gramMask^m))
+	}
+	return (rawBest + 1) / 2
+}
+
+// minGramBoxLBText is the probe for boxes whose text side is an
+// indexed candidate string: the prefix masks are folded from the
+// string bytes on the fly — the same branch-light min-fold as
+// minGramBoxLBMasks, identical results. A candidate's bytes are one
+// or two cache lines that verification touches anyway, where a
+// precomputed mask table would be ~winLen·8 cold bytes per position;
+// measured under the trajectory workloads (all backends resident),
+// the byte fold wins on the candidate side while the precomputed
+// table wins on the query side, which every candidate's case-A boxes
+// share.
+func minGramBoxLBText(gramMask uint64, kappa, p int, text string, winLen, tau int) int {
+	lo := p - tau
+	if lo < 0 {
+		lo = 0
+	}
+	hi := p + tau
+	if hi > len(text)-1 {
+		hi = len(text) - 1
+	}
+	if hi < lo {
+		return kappa
+	}
+	rawBest := 2 * kappa
+	for u := lo; u <= hi; u++ {
+		maxLen := winLen
+		if u+maxLen > len(text) {
+			maxLen = len(text) - u
+		}
+		var m uint64
+		for _, c := range []byte(text[u : u+maxLen]) {
+			m |= 1 << (c & 63)
+			rawBest = min(rawBest, bits.OnesCount64(gramMask^m))
+		}
+	}
+	return (rawBest + 1) / 2
 }
 
 // minGramEditExact returns the exact §6.3 box value used by the Pivotal
@@ -227,7 +318,7 @@ func minGramEditExact(gram string, p int, text string, tau int) int {
 	// stack for every realistic (κ, τ); only degenerate configurations
 	// fall back to the heap.
 	n := len(window)
-	var prevBuf, curBuf [64]int
+	var prevBuf, curBuf [32]int
 	var prev, cur []int
 	if n+1 <= len(prevBuf) {
 		prev, cur = prevBuf[:n+1], curBuf[:n+1]

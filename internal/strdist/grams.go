@@ -2,6 +2,7 @@ package strdist
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -91,7 +92,10 @@ func (d *GramDict) Extract(s string) []Gram {
 	}
 	grams := make([]Gram, 0, n)
 	unknown := int32(-1)
-	unknownIDs := make(map[string]int32)
+	// The unknown-gram table is only materialized when a gram misses
+	// the dictionary; queries drawn from the indexed corpus never pay
+	// for it.
+	var unknownIDs map[string]int32
 	for i := 0; i < n; i++ {
 		g := s[i : i+d.kappa]
 		id, ok := d.ids[g]
@@ -100,16 +104,19 @@ func (d *GramDict) Extract(s string) []Gram {
 			if !ok {
 				id = unknown
 				unknown--
+				if unknownIDs == nil {
+					unknownIDs = make(map[string]int32)
+				}
 				unknownIDs[g] = id
 			}
 		}
 		grams = append(grams, Gram{ID: id, Pos: int32(i)})
 	}
-	sort.Slice(grams, func(i, j int) bool {
-		if grams[i].ID != grams[j].ID {
-			return grams[i].ID < grams[j].ID
+	slices.SortFunc(grams, func(a, b Gram) int {
+		if a.ID != b.ID {
+			return int(a.ID) - int(b.ID)
 		}
-		return grams[i].Pos < grams[j].Pos
+		return int(a.Pos) - int(b.Pos)
 	})
 	return grams
 }
@@ -132,7 +139,7 @@ func Prefix(sorted []Gram, kappa, tau int) []Gram {
 // the caller must fall back to direct verification.
 func SelectPivotal(prefix []Gram, kappa, tau int) []Gram {
 	byPos := append([]Gram(nil), prefix...)
-	sort.Slice(byPos, func(i, j int) bool { return byPos[i].Pos < byPos[j].Pos })
+	slices.SortFunc(byPos, func(a, b Gram) int { return int(a.Pos) - int(b.Pos) })
 	pivotal := make([]Gram, 0, tau+1)
 	lastEnd := int32(-1)
 	for _, g := range byPos {

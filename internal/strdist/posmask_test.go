@@ -1,0 +1,79 @@
+package strdist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildPosMasks is the one-shot form of appendPosMasks the parity
+// tests probe against.
+func buildPosMasks(s string, winLen int) []uint64 {
+	if len(s) == 0 {
+		return nil
+	}
+	return appendPosMasks(make([]uint64, 0, len(s)*winLen), s, winLen)
+}
+
+// TestMinGramBoxLBMasksParity: the index-time prefix-mask probe must
+// return exactly what the per-window scan returns, for randomized
+// strings across gram positions, thresholds and alphabet sizes
+// (including positions whose window runs past either end of the text).
+func TestMinGramBoxLBMasksParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	alphabets := []string{"ab", "abcd", "abcdefghijklmnopqrstuvwxyz0123456789 .,-"}
+	for trial := 0; trial < 2000; trial++ {
+		alpha := alphabets[trial%len(alphabets)]
+		textLen := 1 + rng.Intn(40)
+		text := make([]byte, textLen)
+		for i := range text {
+			text[i] = alpha[rng.Intn(len(alpha))]
+		}
+		kappa := 1 + rng.Intn(4)
+		tau := rng.Intn(4)
+		winLen := kappa + tau
+		gram := make([]byte, kappa)
+		for i := range gram {
+			gram[i] = alpha[rng.Intn(len(alpha))]
+		}
+		gramMask := charMask(string(gram))
+		posMasks := buildPosMasks(string(text), winLen)
+		// Positions beyond the text exercise the window clamping.
+		for p := -2; p < textLen+2; p++ {
+			want := minGramBoxLB(gramMask, kappa, p, string(text), tau)
+			got := minGramBoxLBMasks(gramMask, kappa, p, posMasks, textLen, winLen, tau)
+			if got != want {
+				t.Fatalf("trial %d: minGramBoxLBMasks(%q,κ=%d,p=%d,τ=%d over %q) = %d, scan = %d",
+					trial, gram, kappa, p, tau, text, got, want)
+			}
+			// The candidate-side byte fold must agree too.
+			if got := minGramBoxLBText(gramMask, kappa, p, string(text), winLen, tau); got != want {
+				t.Fatalf("trial %d: minGramBoxLBText(%q,κ=%d,p=%d,τ=%d over %q) = %d, scan = %d",
+					trial, gram, kappa, p, tau, text, got, want)
+			}
+		}
+	}
+}
+
+// TestAppendPosMasksMatchesBuild: the pooled query-side variant and
+// the index-time builder must produce identical tables.
+func TestAppendPosMasksMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(30)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		winLen := 1 + rng.Intn(6)
+		built := buildPosMasks(string(b), winLen)
+		appended := appendPosMasks(nil, string(b), winLen)
+		if len(built) != len(appended) {
+			t.Fatalf("trial %d: length %d vs %d", trial, len(built), len(appended))
+		}
+		for i := range built {
+			if built[i] != appended[i] {
+				t.Fatalf("trial %d: mask %d differs", trial, i)
+			}
+		}
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sync"
 
-	"repro/internal/core"
 	"repro/internal/pairs"
 )
 
@@ -60,6 +59,21 @@ type DB struct {
 	lastPrefix []int32
 	pivotal    [][]Gram
 	pivMasks   [][]uint64
+	// winLen = κ+τ is the box-probe window stride: the length cap of
+	// the substrings a §6.3 box minimizes over, and the stride of the
+	// query's precomputed position-mask table (appendPosMasks). An
+	// index-time per-string mask table was measured too: with every
+	// backend resident it loses to folding the candidate's bytes
+	// directly — ~winLen·8 cold bytes per window position against one
+	// or two cache lines verification touches anyway — so only the
+	// query side, which all case-A boxes of a search share, keeps a
+	// precomputed table.
+	winLen int
+	// strMasks holds every indexed string's whole-string char mask:
+	// ed(x, q) ≥ ⌈H(mask(x), mask(q))/2⌉ (the §6.3 content bound at
+	// string granularity), so one popcount skips the banded DP for
+	// most candidates that would fail verification anyway.
+	strMasks []uint64
 
 	// pivIdx maps gram id -> occurrences as a pivotal gram.
 	pivIdx map[int32][]pivPosting
@@ -81,6 +95,8 @@ type strScratch struct {
 	processed []uint8
 	marked    []int32
 	qMasks    []uint64
+	qPosMasks []uint64
+	boxVal    []int
 	results   []int
 }
 
@@ -94,6 +110,7 @@ func (db *DB) putScratch(s *strScratch) {
 	}
 	s.marked = s.marked[:0]
 	s.qMasks = s.qMasks[:0]
+	s.qPosMasks = s.qPosMasks[:0]
 	s.results = s.results[:0]
 	db.scratch.Put(s)
 }
@@ -127,9 +144,12 @@ func NewDB(strs []string, dict *GramDict, tau int) (*DB, error) {
 		pivMasks:   make([][]uint64, len(strs)),
 		pivIdx:     make(map[int32][]pivPosting),
 		preIdx:     make(map[int32][]prePosting),
+		winLen:     kappa + tau,
+		strMasks:   make([]uint64, len(strs)),
 	}
 	fullPrefix := kappa*tau + 1
 	for id, s := range strs {
+		db.strMasks[id] = charMask(s)
 		grams := dict.Extract(s)
 		prefix := Prefix(grams, kappa, tau)
 		pivotal := SelectPivotal(prefix, kappa, tau)
@@ -176,12 +196,15 @@ func (db *DB) Search(q string, opt Options) ([]int, Stats, error) {
 	if l > m {
 		l = m
 	}
-	filter := core.NewUniform(float64(tau), m, l, core.LE)
 
 	s := db.getScratch()
 	defer db.putScratch(s)
+	qStrMask := charMask(q)
 	verify := func(id int32) {
 		if opt.SkipVerify {
+			return
+		}
+		if contentLowerBound(db.strMasks[id], qStrMask) > tau {
 			return
 		}
 		if EditDistanceWithin(db.strs[id], q, tau) >= 0 {
@@ -221,19 +244,26 @@ func (db *DB) Search(q string, opt Options) ([]int, Stats, error) {
 		s.qMasks = append(s.qMasks, charMask(q[g.Pos:g.Pos+int32(kappa)]))
 	}
 	qPivMasks := s.qMasks
+	// The query's position masks are shared by every candidate whose
+	// boxes probe against q (case A), so one pass here replaces a mask
+	// rebuild per candidate per box.
+	if opt.Ring {
+		s.qPosMasks = appendPosMasks(s.qPosMasks[:0], q, db.winLen)
+	}
+	qPosMasks := s.qPosMasks
 
 	// processed[id]: 0 unseen, 1 decided.
 	processed := s.processed
-	// The lazy, memoized box ring is shared across candidates: the
-	// captured pivotal/masks/text variables are repointed per object
-	// and the memo reset, avoiding per-candidate allocations.
-	var pivotal []Gram
-	var masks []uint64
-	var text string
-	boxes := core.NewMemoBoxes(core.BoxFunc{M: m, F: func(j int) float64 {
-		st.BoxChecks++
-		return float64(minGramBoxLB(masks[j], kappa, int(pivotal[j].Pos), text, tau))
-	}})
+	// The chain check is the hand-inlined integer form of
+	// core.NewUniform(τ, m, l, LE).HasPrefixViableChain — prefix sums
+	// compare as sum·m ≤ l'·τ, which is exact for integer boxes — with
+	// the Corollary 2 skip kept; the generic Filter/MemoBoxes
+	// machinery's interface dispatch and float quotas dominated the
+	// filter cost at κ=2.
+	if cap(s.boxVal) < m {
+		s.boxVal = make([]int, m)
+	}
+	boxVal := s.boxVal[:m]
 	decide := func(id int32) {
 		if processed[id] == 1 {
 			return
@@ -246,15 +276,52 @@ func (db *DB) Search(q string, opt Options) ([]int, Stats, error) {
 		}
 		st.Cand1++
 		// Pick the box side by the §6.3 orientation rule.
-		var gramSrc string
+		var pivotal []Gram
+		var masks []uint64
+		var text, gramSrc string
+		var caseA bool
 		if db.lastPrefix[id] <= qLast {
 			pivotal, masks, text, gramSrc = db.pivotal[id], db.pivMasks[id], q, x
+			caseA = true
 		} else {
 			pivotal, masks, text, gramSrc = qPivotal, qPivMasks, x, q
 		}
 		if opt.Ring {
-			boxes.Reset()
-			if !filter.HasPrefixViableChain(boxes) {
+			// Boxes are evaluated eagerly: a rejected candidate's chain
+			// walk visits every box anyway (each start is either probed
+			// as a chain head or skipped because a chain already failed
+			// at it), so laziness saved nothing and its memo cost a
+			// closure call per box. Case-A boxes probe the query's
+			// precomputed position masks; case-B boxes fold the
+			// candidate's bytes directly (see minGramBoxLBText).
+			for j := 0; j < m; j++ {
+				st.BoxChecks++
+				if caseA {
+					boxVal[j] = minGramBoxLBMasks(masks[j], kappa, int(pivotal[j].Pos), qPosMasks, len(q), db.winLen, tau)
+				} else {
+					boxVal[j] = minGramBoxLBText(masks[j], kappa, int(pivotal[j].Pos), text, db.winLen, tau)
+				}
+			}
+			viable := false
+			for i := 0; i < m && !viable; {
+				viable = true
+				sum, fail := 0, 0
+				for lp := 1; lp <= l; lp++ {
+					j := i + lp - 1
+					if j >= m {
+						j -= m
+					}
+					sum += boxVal[j]
+					if sum*m > lp*tau {
+						viable, fail = false, lp
+						break
+					}
+				}
+				if !viable {
+					i += fail
+				}
+			}
+			if !viable {
 				return
 			}
 		} else {
