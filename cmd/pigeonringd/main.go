@@ -7,6 +7,7 @@
 // Usage:
 //
 //	pigeonringd [-addr :8080] [-workers 0] [-search-timeout 0]
+//	            [-metrics=true] [-slow-query-ms 0] [-pprof-addr ""]
 //
 // Quickstart:
 //
@@ -23,6 +24,7 @@
 //	    -d '{"problem":"hamming","limit":50,"timeout_ms":5000}'
 //	curl -s localhost:8080/v1/indexes
 //	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/metrics
 //
 // Every search and join runs under its HTTP request's context:
 // disconnecting clients abandon their work, "timeout_ms" adds a
@@ -31,6 +33,13 @@
 // "limit" stops a search after the first k ids, or a join after its
 // first k pairs. /v1/stats counts cancelled and limited queries plus
 // join and pair totals per problem.
+//
+// Observability: GET /metrics serves the Prometheus text exposition
+// (-metrics=false unmounts it), -slow-query-ms writes searches and
+// joins slower than the threshold to stderr as JSON lines, and
+// -pprof-addr starts net/http/pprof on its own listener — separate
+// from the serving address so profiling is never exposed on the
+// public port. Use /v1/readyz as the orchestrator readiness probe.
 //
 // The process shuts down gracefully on SIGINT/SIGTERM, draining
 // in-flight requests before exiting.
@@ -42,6 +51,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"syscall"
 	"time"
@@ -56,14 +66,42 @@ func main() {
 	workers := flag.Int("workers", 0, "per-query shard fan-out and batch parallelism (0 = GOMAXPROCS)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	searchTimeout := flag.Duration("search-timeout", 0, "default per-search/join deadline; requests may shorten it via timeout_ms (0 = none)")
+	metrics := flag.Bool("metrics", true, "serve the Prometheus text exposition on GET /metrics")
+	slowQueryMS := flag.Int("slow-query-ms", 0, "log searches and joins slower than this to stderr as JSON lines (0 = off)")
+	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof, e.g. localhost:6060 (empty = off)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	if *pprofAddr != "" {
+		// pprof gets its own mux on its own listener: the default
+		// http.DefaultServeMux registration would put profiling (and its
+		// goroutine dumps) on the public serving port.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				log.Fatalf("pprof: %v", err)
+			}
+		}()
+	}
+
+	handler := server.NewFromConfig(server.Config{
+		Workers:            *workers,
+		SearchTimeout:      *searchTimeout,
+		DisableMetrics:     !*metrics,
+		SlowQueryThreshold: time.Duration(*slowQueryMS) * time.Millisecond,
+	}).Handler()
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(*workers, *searchTimeout).Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
 	}

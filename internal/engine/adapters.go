@@ -97,7 +97,10 @@ func timed(ctx context.Context, opt Options, filterOnly func() error, fn func() 
 		}
 		st.FilterNS = filterNS
 		st.VerifyNS = full - filterNS
+		opt.Hooks.stage(StageFilter, time.Duration(st.FilterNS))
+		opt.Hooks.stage(StageVerify, time.Duration(st.VerifyNS))
 	}
+	opt.Hooks.stage(StageSearch, time.Duration(full))
 	return ids, st, err
 }
 

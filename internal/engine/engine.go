@@ -157,6 +157,11 @@ type Options struct {
 	// split cannot be observed in a single pass). It roughly doubles
 	// the filtering cost of the query; leave it off on hot paths.
 	Timings bool
+	// Hooks, when non-nil, receives span notifications as the search
+	// progresses: per-query stage durations and, on a sharded index,
+	// per-shard fan-out legs. The nil default costs one pointer check;
+	// see the Hooks type for the callback contract.
+	Hooks *Hooks
 }
 
 // Index is the uniform search interface every adapter and the sharded

@@ -61,6 +61,13 @@ type JoinOptions struct {
 	// verification off. It roughly doubles the join's filtering cost;
 	// leave it off on hot paths.
 	Timings bool
+	// Hooks, when non-nil, receives span notifications as the join
+	// progresses: one Block callback per completed row block and a
+	// StageSort span for the final pair ordering. Hooks never
+	// propagate into the per-row searches — a join over n rows would
+	// emit n query-level spans of pure noise. Nil costs one pointer
+	// check; see the Hooks type for the callback contract.
+	Hooks *Hooks
 }
 
 // Joiner is the self-join capability of an Index: every pair of
@@ -127,7 +134,12 @@ func joinSelf(ctx context.Context, n, workers int, obj func(i int) Query, search
 	sopt := opt.searchOptions()
 	blockPairs := make([][]Pair, len(blocks))
 	blockStats := make([]Stats, len(blocks))
+	traceBlocks := opt.Hooks.wantBlock()
 	err := parallel.ForEachCtx(ctx, len(blocks), workers, func(jobCtx context.Context, b int) error {
+		var blockStart time.Time
+		if traceBlocks {
+			blockStart = time.Now()
+		}
 		var ps []Pair
 		var agg Stats
 		for i := blocks[b][0]; i < blocks[b][1]; i++ {
@@ -149,6 +161,9 @@ func joinSelf(ctx context.Context, n, workers int, obj func(i int) Query, search
 			}
 		}
 		blockPairs[b], blockStats[b] = ps, agg
+		if traceBlocks {
+			opt.Hooks.Block(b, blocks[b][1]-blocks[b][0], time.Since(blockStart), agg)
+		}
 		return nil
 	})
 	if err != nil {
@@ -164,7 +179,9 @@ func joinSelf(ctx context.Context, n, workers int, obj func(i int) Query, search
 	for _, ps := range blockPairs {
 		out = append(out, ps...)
 	}
+	sortStart := time.Now()
 	pairs.Sort(out)
+	opt.Hooks.stage(StageSort, time.Since(sortStart))
 	if opt.Limit > 0 && len(out) > opt.Limit {
 		out = out[:opt.Limit]
 		agg.Limited = true

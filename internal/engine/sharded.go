@@ -122,6 +122,14 @@ func (s *Sharded) Search(ctx context.Context, q Query, opt Options) ([]int64, St
 	ids, searched := fan.ids, fan.searched
 	perShard := make([]Stats, n)
 
+	// Hooks: the composite owns the query-level spans (one StageSearch
+	// for the whole fan-out) and reports each shard leg through the
+	// Shard callback; the per-shard searches run with hooks stripped
+	// so N shards don't emit N query-level spans.
+	hooks := opt.Hooks
+	opt.Hooks = nil
+	traceShards := hooks.wantShard()
+
 	// With a limit, the fan-out runs under a child context that is
 	// cancelled as soon as shards 0..j are all done and together hold
 	// at least Limit ids: every id of the first Limit lies in that
@@ -137,9 +145,16 @@ func (s *Sharded) Search(ctx context.Context, q Query, opt Options) ([]int64, St
 	prefixDone, prefixCount := 0, 0
 
 	err := parallel.ForEachCtx(fanCtx, n, s.workers, func(jobCtx context.Context, i int) error {
+		var shardStart time.Time
+		if traceShards {
+			shardStart = time.Now()
+		}
 		shardIDs, st, err := s.shards[i].Search(jobCtx, q, opt)
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		if traceShards {
+			hooks.Shard(i, time.Since(shardStart), st)
 		}
 		for j := range shardIDs {
 			shardIDs[j] += s.offsets[i]
@@ -201,6 +216,11 @@ func (s *Sharded) Search(ctx context.Context, q Query, opt Options) ([]int64, St
 	}
 	agg.WallNS = time.Since(start).Nanoseconds()
 	agg.PerShard = perShard
+	if opt.Timings {
+		hooks.stage(StageFilter, time.Duration(agg.FilterNS))
+		hooks.stage(StageVerify, time.Duration(agg.VerifyNS))
+	}
+	hooks.stage(StageSearch, time.Duration(agg.WallNS))
 	return out, agg, nil
 }
 
@@ -220,6 +240,12 @@ func (s *Sharded) SearchSeq(ctx context.Context, q Query, opt Options) iter.Seq2
 		seqCtx, cancel := context.WithCancel(ctx)
 		defer cancel()
 		n := len(s.shards)
+		// As in Search: shard legs report through the Shard hook, the
+		// per-shard searches run hook-free. No query-level StageSearch
+		// is emitted — a stream has no single completion instant.
+		hooks := opt.Hooks
+		opt.Hooks = nil
+		traceShards := hooks.wantShard()
 		// One single-result channel per shard, buffered so a producing
 		// shard never blocks on a consumer that has moved on.
 		out := make([]chan []int64, n)
@@ -232,9 +258,16 @@ func (s *Sharded) SearchSeq(ctx context.Context, q Query, opt Options) iter.Seq2
 			// consumer reads it only after observing a closed channel,
 			// so the handoff is ordered.
 			fanErr = parallel.ForEachCtx(seqCtx, n, s.workers, func(jobCtx context.Context, i int) error {
-				shardIDs, _, err := s.shards[i].Search(jobCtx, q, opt)
+				var shardStart time.Time
+				if traceShards {
+					shardStart = time.Now()
+				}
+				shardIDs, st, err := s.shards[i].Search(jobCtx, q, opt)
 				if err != nil {
 					return fmt.Errorf("shard %d: %w", i, err)
+				}
+				if traceShards {
+					hooks.Shard(i, time.Since(shardStart), st)
 				}
 				for j := range shardIDs {
 					shardIDs[j] += s.offsets[i]

@@ -1,0 +1,72 @@
+package engine
+
+import "time"
+
+// The tracing seam: Options.Hooks (and JoinOptions.Hooks) carry an
+// optional set of callbacks the engine invokes at span boundaries —
+// per-query stages, per-shard fan-out legs, per-block join legs. The
+// serving layer plugs latency histograms and slow-query attribution in
+// here; the engine itself neither records nor aggregates anything.
+//
+// A nil *Hooks (the default) is a single pointer check on the search
+// path — hooks cost nothing when unset, which the benchmark gate
+// relies on. Individual callbacks may be nil too; only non-nil ones
+// fire.
+
+// Stage names one phase of a query's lifecycle, the label a Stage
+// hook receives.
+type Stage string
+
+const (
+	// StageParse is request decoding and query resolution — emitted by
+	// callers that parse wire formats (the HTTP server), never by the
+	// engine itself.
+	StageParse Stage = "parse"
+	// StageFilter is candidate generation, reported when
+	// Options.Timings measures the filter/verify split.
+	StageFilter Stage = "filter"
+	// StageVerify is the verification share of the search pass,
+	// reported alongside StageFilter under Options.Timings.
+	StageVerify Stage = "verify"
+	// StageSearch is the full search pass (filter and verification
+	// interleaved), emitted once per query on every index — a sharded
+	// index emits it for the whole fan-out, not per shard.
+	StageSearch Stage = "search"
+	// StageSort is the result-ordering step of a join (pairs are
+	// merged across blocks, then sorted into (I, J) order).
+	StageSort Stage = "sort"
+)
+
+// Hooks is the set of tracing callbacks; see the package comment
+// above for the contract. All fields are optional.
+//
+// Callbacks must be fast and must not panic: they run inline on the
+// search path, and on sharded or batched work they are invoked
+// concurrently from multiple worker goroutines — implementations
+// synchronize internally (atomic metric updates qualify).
+type Hooks struct {
+	// Stage fires when a per-query stage completes, with its duration.
+	Stage func(stage Stage, d time.Duration)
+	// Shard fires when one shard of a sharded fan-out completes, with
+	// the shard ordinal, its wall-clock duration and its Stats —
+	// feeding per-shard duration-spread metrics. Concurrent across
+	// shards.
+	Shard func(shard int, d time.Duration, st Stats)
+	// Block fires when one row block of a join completes, with the
+	// block ordinal, its row count, duration and aggregate Stats.
+	// Concurrent across blocks.
+	Block func(block, rows int, d time.Duration, st Stats)
+}
+
+// The emit helpers keep call sites to one line and centralize the
+// nil checks (a nil receiver is legal and does nothing).
+
+func (h *Hooks) stage(s Stage, d time.Duration) {
+	if h != nil && h.Stage != nil {
+		h.Stage(s, d)
+	}
+}
+
+func (h *Hooks) wantShard() bool { return h != nil && h.Shard != nil }
+
+func (h *Hooks) wantBlock() bool { return h != nil && h.Block != nil }

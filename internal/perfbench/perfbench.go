@@ -104,6 +104,15 @@ type Series struct {
 	FilterNsPerOp float64 `json:"filterNsPerOp"`
 	VerifyNsPerOp float64 `json:"verifyNsPerOp"`
 
+	// P50NsPerOp, P95NsPerOp and P99NsPerOp are per-op latency
+	// quantiles, estimated from a telemetry histogram of individual op
+	// wall times (linear interpolation within exponential buckets —
+	// tail estimates, not exact order statistics). Zero in reports
+	// written before the fields existed; Compare never gates on them.
+	P50NsPerOp float64 `json:"p50NsPerOp,omitempty"`
+	P95NsPerOp float64 `json:"p95NsPerOp,omitempty"`
+	P99NsPerOp float64 `json:"p99NsPerOp,omitempty"`
+
 	// PrevNsPerOp and PrevAllocsPerOp carry the same figures from an
 	// earlier run of the same series (pigeonbench -prev), recording
 	// before/after pairs for optimization PRs.

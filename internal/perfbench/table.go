@@ -12,7 +12,7 @@ import (
 // annotations.
 func (r *Report) WriteTable(w io.Writer) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "series\tn\tops\tns/op\tallocs/op\tB/op\tcands/op\tresults/op\tthroughput\tfilter/verify\tprev allocs/op\n")
+	fmt.Fprintf(tw, "series\tn\tops\tns/op\tp50/p95/p99\tallocs/op\tB/op\tcands/op\tresults/op\tthroughput\tfilter/verify\tprev allocs/op\n")
 	for i := range r.Series {
 		s := &r.Series[i]
 		throughput := "-"
@@ -20,6 +20,10 @@ func (r *Report) WriteTable(w io.Writer) error {
 			throughput = fmt.Sprintf("%.0f pairs/s", s.PairsPerSec)
 		} else if s.QueriesPerSec > 0 {
 			throughput = fmt.Sprintf("%.0f q/s", s.QueriesPerSec)
+		}
+		quantiles := "-"
+		if s.P99NsPerOp > 0 {
+			quantiles = fmt.Sprintf("%s/%s/%s", ns(s.P50NsPerOp), ns(s.P95NsPerOp), ns(s.P99NsPerOp))
 		}
 		split := "-"
 		if s.FilterNsPerOp > 0 || s.VerifyNsPerOp > 0 {
@@ -29,8 +33,8 @@ func (r *Report) WriteTable(w io.Writer) error {
 		if s.PrevAllocsPerOp > 0 {
 			prev = fmt.Sprintf("%.0f (%+.0f%%)", s.PrevAllocsPerOp, (s.AllocsPerOp/s.PrevAllocsPerOp-1)*100)
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%.0f\t%.0f\t%.1f\t%.1f\t%s\t%s\t%s\n",
-			s.Name, s.N, s.Ops, ns(s.NsPerOp), s.AllocsPerOp, s.BytesPerOp,
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%s\t%.0f\t%.0f\t%.1f\t%.1f\t%s\t%s\t%s\n",
+			s.Name, s.N, s.Ops, ns(s.NsPerOp), quantiles, s.AllocsPerOp, s.BytesPerOp,
 			s.CandidatesPerOp, s.ResultsPerOp, throughput, split, prev)
 	}
 	return tw.Flush()

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/setsim"
+	"repro/internal/telemetry"
 )
 
 // The standardized workloads. Every series is a pure function of
@@ -228,16 +229,21 @@ func seriesName(workload, problem, filter string, sharded bool) string {
 // heap allocations (worker goroutines included) evenly across ops. A
 // GC settles the heap first so one run's garbage doesn't skew the
 // next; Mallocs/TotalAlloc are monotonic counters, so the deltas are
-// GC-independent.
-func measure(ops int, fn func(op int) error) (nsPerOp, allocsPerOp, bytesPerOp float64, err error) {
+// GC-independent. Each op's individual wall time is observed into lat
+// — the same lock-free histogram the server exports, reused here for
+// per-series quantiles; Observe never allocates, so allocs/op stays
+// honest.
+func measure(ops int, lat *telemetry.Histogram, fn func(op int) error) (nsPerOp, allocsPerOp, bytesPerOp float64, err error) {
 	runtime.GC()
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	for op := 0; op < ops; op++ {
+		opStart := time.Now()
 		if err := fn(op); err != nil {
 			return 0, 0, 0, err
 		}
+		lat.Observe(float64(time.Since(opStart).Nanoseconds()))
 	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&m1)
@@ -246,6 +252,21 @@ func measure(ops int, fn func(op int) error) (nsPerOp, allocsPerOp, bytesPerOp f
 		float64(m1.Mallocs-m0.Mallocs) / n,
 		float64(m1.TotalAlloc-m0.TotalAlloc) / n,
 		nil
+}
+
+// latencyHist returns the per-op latency histogram one series observes
+// into: exponential nanosecond buckets from 250ns to ≈9 minutes, wide
+// enough for a graph self-join and fine enough (factor 2) for useful
+// p50/p95/p99 estimates.
+func latencyHist() *telemetry.Histogram {
+	return telemetry.NewHistogram(telemetry.ExpBuckets(250, 2, 32))
+}
+
+// fillQuantiles records lat's tail estimates on the series.
+func fillQuantiles(s *Series, lat *telemetry.Histogram) {
+	s.P50NsPerOp = lat.Quantile(0.50)
+	s.P95NsPerOp = lat.Quantile(0.95)
+	s.P99NsPerOp = lat.Quantile(0.99)
 }
 
 func runSearch(ctx context.Context, cfg Config, env problemEnv, ix engine.Index, filter string, sharded bool) (Series, error) {
@@ -269,7 +290,8 @@ func runSearch(ctx context.Context, cfg Config, env problemEnv, ix engine.Index,
 	s.ResultsPerOp = float64(res) / float64(len(env.queries))
 
 	ops := cfg.reps() * 5 * len(env.queries)
-	ns, allocs, bytes, err := measure(ops, func(op int) error {
+	lat := latencyHist()
+	ns, allocs, bytes, err := measure(ops, lat, func(op int) error {
 		_, _, err := ix.Search(ctx, env.queries[op%len(env.queries)], opt)
 		return err
 	})
@@ -278,6 +300,7 @@ func runSearch(ctx context.Context, cfg Config, env problemEnv, ix engine.Index,
 	}
 	s.Ops, s.NsPerOp, s.AllocsPerOp, s.BytesPerOp = ops, ns, allocs, bytes
 	s.QueriesPerSec = 1e9 / ns
+	fillQuantiles(&s, lat)
 
 	// Separate Timings pass for the filter/verify split (it re-runs
 	// candidate generation, so it is never part of the timed loop).
@@ -321,7 +344,8 @@ func runBatch(ctx context.Context, cfg Config, env problemEnv, ix engine.Index, 
 	s.ResultsPerOp = float64(res)
 
 	ops := cfg.reps()
-	ns, allocs, bytes, err := measure(ops, func(int) error {
+	lat := latencyHist()
+	ns, allocs, bytes, err := measure(ops, lat, func(int) error {
 		_, _, err := collect()
 		return err
 	})
@@ -330,6 +354,7 @@ func runBatch(ctx context.Context, cfg Config, env problemEnv, ix engine.Index, 
 	}
 	s.Ops, s.NsPerOp, s.AllocsPerOp, s.BytesPerOp = ops, ns, allocs, bytes
 	s.QueriesPerSec = float64(len(env.queries)) * 1e9 / ns
+	fillQuantiles(&s, lat)
 
 	topt := opt
 	topt.Timings = true
@@ -360,7 +385,8 @@ func runJoin(ctx context.Context, cfg Config, env problemEnv, ix engine.Index, f
 	s.ResultsPerOp = float64(len(ps))
 
 	ops := cfg.reps()
-	ns, allocs, bytes, err := measure(ops, func(int) error {
+	lat := latencyHist()
+	ns, allocs, bytes, err := measure(ops, lat, func(int) error {
 		_, _, err := joiner.Join(ctx, opt)
 		return err
 	})
@@ -369,6 +395,7 @@ func runJoin(ctx context.Context, cfg Config, env problemEnv, ix engine.Index, f
 	}
 	s.Ops, s.NsPerOp, s.AllocsPerOp, s.BytesPerOp = ops, ns, allocs, bytes
 	s.PairsPerSec = s.ResultsPerOp * 1e9 / ns
+	fillQuantiles(&s, lat)
 
 	topt := opt
 	topt.Timings = true

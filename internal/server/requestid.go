@@ -1,0 +1,68 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// Request IDs tie a response, its error payload, the slow-query log
+// and any upstream proxy log together. An inbound X-Request-ID is
+// honored so the daemon joins an existing trace; otherwise one is
+// generated as <process-prefix>-<sequence> — the prefix is random per
+// process, so IDs stay unique across restarts without coordination.
+
+const requestIDHeader = "X-Request-ID"
+
+// maxRequestIDLen bounds what we echo back and write into logs; an
+// inbound id longer than this (or containing control bytes) is
+// replaced rather than truncated, so a logged id always round-trips.
+const maxRequestIDLen = 128
+
+var (
+	ridPrefix = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			// crypto/rand failing is effectively fatal elsewhere; a
+			// fixed prefix only weakens cross-restart uniqueness.
+			return "00000000"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	ridSeq atomic.Int64
+)
+
+func newRequestID() string {
+	return fmt.Sprintf("%s-%06d", ridPrefix, ridSeq.Add(1))
+}
+
+// inboundRequestID returns the request's validated X-Request-ID or a
+// fresh one.
+func inboundRequestID(r *http.Request) string {
+	id := r.Header.Get(requestIDHeader)
+	if id == "" || len(id) > maxRequestIDLen {
+		return newRequestID()
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] < 0x20 || id[i] == 0x7f {
+			return newRequestID()
+		}
+	}
+	return id
+}
+
+type ridKey struct{}
+
+func withRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ridKey{}, id)
+}
+
+// requestID returns the context's request id, or "" outside the
+// instrument middleware (direct handler tests).
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey{}).(string)
+	return id
+}

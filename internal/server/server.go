@@ -12,7 +12,9 @@
 //	POST /v1/join          {"problem":"set","limit":100,"timeout_ms":5000,...}
 //	GET  /v1/indexes
 //	GET  /v1/stats
-//	GET  /v1/healthz
+//	GET  /v1/healthz       liveness + readiness view {"ready":bool,"indexes":n}
+//	GET  /v1/readyz        503 until an index is loaded, then 200
+//	GET  /metrics          Prometheus text exposition (Config.DisableMetrics unmounts)
 //
 // One index is held per problem; loading replaces the previous index
 // atomically. Searches are lock-free after entry lookup — engine
@@ -30,6 +32,18 @@
 // (i, j) — under the same context, timeout and limit machinery.
 // /v1/stats surfaces cancelled and limited query counts plus join and
 // pair totals per problem.
+//
+// Observability: every request is assigned (or inherits, via
+// X-Request-ID) a request id that is echoed in the response header,
+// embedded in error payloads and stamped on slow-query log lines.
+// The server records its serving statistics in a telemetry.Registry —
+// per-problem counters and latency histograms, per-endpoint request
+// metrics, per-shard fan-out spread via the engine's Hooks seam — and
+// serves the Prometheus text exposition on GET /metrics. /v1/stats
+// reads the same registry back as JSON; its counters are monotonic
+// over the server's lifetime and survive index reloads. Searches and
+// joins slower than Config.SlowQueryThreshold are written to the
+// slow-query log as JSON lines (see SlowQuery).
 package server
 
 import (
@@ -37,11 +51,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
+	"os"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/bitvec"
@@ -49,22 +64,29 @@ import (
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/setsim"
+	"repro/internal/telemetry"
 	"repro/internal/tokenset"
 )
 
 // Server holds one loaded index per problem plus live serving
-// statistics. Create it with New and mount Handler on an http.Server.
+// statistics. Create it with New or NewFromConfig and mount Handler on
+// an http.Server.
 type Server struct {
 	workers int
 	timeout time.Duration
 	started time.Time
+
+	met       *serverMetrics
+	slow      *slowLog
+	noMetrics bool
 
 	mu      sync.RWMutex
 	entries map[engine.Problem]*entry
 }
 
 // entry binds a loaded index to the dataset it was built from (kept
-// for queryId resolution) and its live counters.
+// for queryId resolution), its per-problem metric handles and the
+// engine hooks that feed them.
 type entry struct {
 	index   engine.Index
 	dataset string
@@ -75,34 +97,85 @@ type entry struct {
 	strs   []string
 	graphs []*graph.Graph
 
-	queries    atomic.Int64
-	errors     atomic.Int64
-	cancelled  atomic.Int64
-	limited    atomic.Int64
-	candidates atomic.Int64
-	results    atomic.Int64
-	joins      atomic.Int64
-	joinPairs  atomic.Int64
-	filterNS   atomic.Int64
-	verifyNS   atomic.Int64
-	wallNS     atomic.Int64
+	// met is the per-problem slice of the server's registry; hooks is
+	// the shared (concurrency-safe) tracer wired into every search so
+	// sharded fan-outs report per-shard durations.
+	met   *problemMetrics
+	hooks *engine.Hooks
 }
 
-// New creates an empty server. workers caps the per-query shard
-// fan-out and the per-batch query parallelism; ≤ 0 selects GOMAXPROCS.
-// timeout is the default per-search deadline applied when a request
-// carries no timeout_ms of its own; 0 disables it. Requests may ask
-// for a shorter deadline but never a longer one.
+// tau resolves the effective threshold a call ran under: the request
+// override when present, the index's build threshold otherwise.
+func (e *entry) tau(override *float64) float64 {
+	if override != nil {
+		return *override
+	}
+	return e.index.Tau()
+}
+
+// Config parameterizes NewFromConfig. The zero value is a working
+// default: GOMAXPROCS workers, no default deadline, a private
+// registry, /metrics mounted, slow-query log disabled.
+type Config struct {
+	// Workers caps the per-query shard fan-out and the per-batch query
+	// parallelism; ≤ 0 selects GOMAXPROCS.
+	Workers int
+	// SearchTimeout is the default per-search/join deadline applied
+	// when a request carries no timeout_ms; 0 disables it. Requests
+	// may shorten it but never lengthen it.
+	SearchTimeout time.Duration
+	// Registry receives the server's metric families; nil creates a
+	// private registry. Pass a shared one to co-expose other families.
+	Registry *telemetry.Registry
+	// DisableMetrics leaves GET /metrics unmounted (metrics are still
+	// recorded; /v1/stats keeps working).
+	DisableMetrics bool
+	// SlowQueryThreshold enables the slow-query log: every search,
+	// batch item or join whose engine wall clock reaches it is written
+	// as a JSON line. 0 disables the log.
+	SlowQueryThreshold time.Duration
+	// SlowQueryWriter receives the slow-query lines; nil selects
+	// os.Stderr. Writes are serialized by the server.
+	SlowQueryWriter io.Writer
+}
+
+// New creates an empty server with default observability: shorthand
+// for NewFromConfig(Config{Workers: workers, SearchTimeout: timeout}).
+// workers caps the per-query shard fan-out and the per-batch query
+// parallelism; ≤ 0 selects GOMAXPROCS. timeout is the default
+// per-search deadline applied when a request carries no timeout_ms of
+// its own; 0 disables it.
 func New(workers int, timeout time.Duration) *Server {
+	return NewFromConfig(Config{Workers: workers, SearchTimeout: timeout})
+}
+
+// NewFromConfig creates an empty server; see Config for the knobs.
+func NewFromConfig(cfg Config) *Server {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	slowW := cfg.SlowQueryWriter
+	if slowW == nil {
+		slowW = os.Stderr
+	}
 	return &Server{
-		workers: workers,
-		timeout: timeout,
-		started: time.Now(),
-		entries: make(map[engine.Problem]*entry),
+		workers:   cfg.Workers,
+		timeout:   cfg.SearchTimeout,
+		started:   time.Now(),
+		met:       newServerMetrics(reg),
+		slow:      newSlowLog(cfg.SlowQueryThreshold, slowW),
+		noMetrics: cfg.DisableMetrics,
+		entries:   make(map[engine.Problem]*entry),
 	}
 }
 
-// Handler returns the server's HTTP routes.
+// Registry returns the registry the server records into.
+func (s *Server) Registry() *telemetry.Registry { return s.met.reg }
+
+// Handler returns the server's HTTP routes, wrapped in the
+// observability middleware (request ids, in-flight gauge, per-endpoint
+// request metrics).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/load", s.handleLoad)
@@ -111,10 +184,45 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/join", s.handleJoin)
 	mux.HandleFunc("GET /v1/indexes", s.handleIndexes)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-	return mux
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
+	if !s.noMetrics {
+		mux.Handle("GET /metrics", s.met.reg.Handler())
+	}
+	return s.instrument(mux)
+}
+
+// readiness reports whether any index is loaded, and how many.
+func (s *Server) readiness() (ready bool, indexes int) {
+	s.mu.RLock()
+	indexes = len(s.entries)
+	s.mu.RUnlock()
+	return indexes > 0, indexes
+}
+
+// HealthResponse is the /v1/healthz and /v1/readyz payload: the
+// process is live by virtue of answering at all; Ready says whether
+// it can serve searches. An orchestrator's readiness probe should use
+// /v1/readyz, which also encodes Ready in the status code (503 until
+// the first index loads).
+type HealthResponse struct {
+	Status  string `json:"status"`
+	Ready   bool   `json:"ready"`
+	Indexes int    `json:"indexes"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ready, n := s.readiness()
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Ready: ready, Indexes: n})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready, n := s.readiness()
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, HealthResponse{Status: "ok", Ready: ready, Indexes: n})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -123,8 +231,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// errBody stamps the request id into an error payload so a client can
+// quote the id that also appears in the server's logs.
+func errBody(r *http.Request, fields map[string]string) map[string]string {
+	if rid := requestID(r.Context()); rid != "" {
+		fields["requestId"] = rid
+	}
+	return fields
+}
+
+func writeError(w http.ResponseWriter, r *http.Request, status int, format string, args ...any) {
+	writeJSON(w, status, errBody(r, map[string]string{"error": fmt.Sprintf(format, args...)}))
 }
 
 // maxBodyBytes caps request bodies; the largest legitimate payload is
@@ -154,24 +271,24 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		writeError(w, r, http.StatusBadRequest, "invalid request body: %v", err)
 		return false
 	}
 	return true
 }
 
 // lookup resolves the entry serving a problem name.
-func (s *Server) lookup(w http.ResponseWriter, name string) (*entry, engine.Problem, bool) {
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request, name string) (*entry, engine.Problem, bool) {
 	p, err := engine.ParseProblem(name)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return nil, "", false
 	}
 	s.mu.RLock()
 	e := s.entries[p]
 	s.mu.RUnlock()
 	if e == nil {
-		writeError(w, http.StatusNotFound, "no %s index loaded (POST /v1/load first)", p)
+		writeError(w, r, http.StatusNotFound, "no %s index loaded (POST /v1/load first)", p)
 		return nil, "", false
 	}
 	return e, p, true
@@ -228,11 +345,11 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	}
 	p, err := engine.ParseProblem(req.Problem)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if req.N < 0 {
-		writeError(w, http.StatusBadRequest, "negative n")
+		writeError(w, r, http.StatusBadRequest, "negative n")
 		return
 	}
 	// Bound the build parameters: dataset generation and index
@@ -240,15 +357,15 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	// M), so unbounded values would let one request pin or OOM the
 	// daemon — the same reason inline graph queries are capped.
 	if req.N > maxLoadN {
-		writeError(w, http.StatusBadRequest, "n=%d exceeds the limit of %d", req.N, maxLoadN)
+		writeError(w, r, http.StatusBadRequest, "n=%d exceeds the limit of %d", req.N, maxLoadN)
 		return
 	}
 	if req.M > maxLoadM {
-		writeError(w, http.StatusBadRequest, "m=%d exceeds the limit of %d", req.M, maxLoadM)
+		writeError(w, r, http.StatusBadRequest, "m=%d exceeds the limit of %d", req.M, maxLoadM)
 		return
 	}
 	if req.Kappa > maxLoadKappa {
-		writeError(w, http.StatusBadRequest, "kappa=%d exceeds the limit of %d", req.Kappa, maxLoadKappa)
+		writeError(w, r, http.StatusBadRequest, "kappa=%d exceeds the limit of %d", req.Kappa, maxLoadKappa)
 		return
 	}
 	if req.N == 0 {
@@ -267,7 +384,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		req.Shards = 1
 	}
 	if req.Shards > maxLoadShards {
-		writeError(w, http.StatusBadRequest, "shards=%d exceeds the limit of %d", req.Shards, maxLoadShards)
+		writeError(w, r, http.StatusBadRequest, "shards=%d exceeds the limit of %d", req.Shards, maxLoadShards)
 		return
 	}
 	// Hamming, string and graph thresholds are integer distances;
@@ -275,11 +392,11 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	// truncating (or trying to allocate) it.
 	if req.Tau != nil && p != engine.Set {
 		if *req.Tau != math.Trunc(*req.Tau) {
-			writeError(w, http.StatusBadRequest, "%s threshold must be an integer, got τ=%v", p, *req.Tau)
+			writeError(w, r, http.StatusBadRequest, "%s threshold must be an integer, got τ=%v", p, *req.Tau)
 			return
 		}
 		if *req.Tau < 0 || *req.Tau > maxLoadTau {
-			writeError(w, http.StatusBadRequest, "%s threshold τ=%v outside [0, %d]", p, *req.Tau, maxLoadTau)
+			writeError(w, r, http.StatusBadRequest, "%s threshold τ=%v outside [0, %d]", p, *req.Tau, maxLoadTau)
 			return
 		}
 	}
@@ -304,7 +421,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		case "sift":
 			gen = dataset.SIFT
 		default:
-			writeError(w, http.StatusBadRequest, "unknown hamming dataset %q (want gist or sift)", req.Dataset)
+			writeError(w, r, http.StatusBadRequest, "unknown hamming dataset %q (want gist or sift)", req.Dataset)
 			return
 		}
 		e.vecs = gen(req.N, req.Seed)
@@ -322,7 +439,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		case "enron":
 			gen = dataset.Enron
 		default:
-			writeError(w, http.StatusBadRequest, "unknown set dataset %q (want dblp or enron)", req.Dataset)
+			writeError(w, r, http.StatusBadRequest, "unknown set dataset %q (want dblp or enron)", req.Dataset)
 			return
 		}
 		e.sets = gen(req.N, req.Seed)
@@ -341,7 +458,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		case "pubmed":
 			gen = dataset.PubMed
 		default:
-			writeError(w, http.StatusBadRequest, "unknown string dataset %q (want imdb or pubmed)", req.Dataset)
+			writeError(w, r, http.StatusBadRequest, "unknown string dataset %q (want imdb or pubmed)", req.Dataset)
 			return
 		}
 		e.strs = gen(req.N, req.Seed)
@@ -362,27 +479,43 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		case "protein":
 			gen = dataset.Protein
 		default:
-			writeError(w, http.StatusBadRequest, "unknown graph dataset %q (want aids or protein)", req.Dataset)
+			writeError(w, r, http.StatusBadRequest, "unknown graph dataset %q (want aids or protein)", req.Dataset)
 			return
 		}
 		e.graphs = gen(req.N, req.Seed)
 		e.index, err = engine.BuildGraph(e.graphs, int(tauV), req.Shards, s.workers)
 	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "building %s index: %v", p, err)
+		writeError(w, r, http.StatusBadRequest, "building %s index: %v", p, err)
 		return
 	}
 	e.dataset = req.Dataset
 	e.buildMS = float64(time.Since(start).Nanoseconds()) / 1e6
 
-	s.mu.Lock()
-	s.entries[p] = e
-	s.mu.Unlock()
-
 	shards := 1
 	if sh, ok := e.index.(*engine.Sharded); ok {
 		shards = sh.Shards()
 	}
+	pm := s.met.problem(p)
+	e.met = pm
+	// One tracer per entry, shared by every request: the closure only
+	// touches histogram atomics, so concurrent callbacks are safe and
+	// the request hot path allocates nothing for tracing.
+	e.hooks = &engine.Hooks{
+		Shard: func(_ int, d time.Duration, _ engine.Stats) {
+			pm.shardSeconds.Observe(d.Seconds())
+		},
+	}
+	pm.indexObjects.Set(float64(e.index.Len()))
+	pm.buildSeconds.Set(e.buildMS / 1e3)
+	pm.shards.Set(float64(shards))
+
+	s.mu.Lock()
+	s.entries[p] = e
+	loaded := len(s.entries)
+	s.mu.Unlock()
+	s.met.loaded.Set(float64(loaded))
+
 	writeJSON(w, http.StatusOK, LoadResponse{
 		Problem: string(p), Dataset: req.Dataset, N: e.index.Len(),
 		Tau: e.index.Tau(), Shards: shards, BuildMS: e.buildMS,
@@ -556,17 +689,18 @@ func (req *SearchRequest) options() engine.Options {
 	}
 }
 
-// record folds one search outcome into the entry's live counters.
+// record folds one search outcome into the problem's registry slice.
 func (e *entry) record(st engine.Stats) {
-	e.queries.Add(1)
+	e.met.searches.Inc()
 	if st.Limited {
-		e.limited.Add(1)
+		e.met.limited.Inc()
 	}
-	e.candidates.Add(int64(st.Candidates))
-	e.results.Add(int64(st.Results))
-	e.filterNS.Add(st.FilterNS)
-	e.verifyNS.Add(st.VerifyNS)
-	e.wallNS.Add(st.WallNS)
+	e.met.candidates.Add(int64(st.Candidates))
+	e.met.results.Add(int64(st.Results))
+	e.met.filterNS.Add(st.FilterNS)
+	e.met.verifyNS.Add(st.VerifyNS)
+	e.met.wallNS.Add(st.WallNS)
+	e.met.searchSeconds.Observe(float64(st.WallNS) / 1e9)
 }
 
 // statusClientClosedRequest is nginx's non-standard code for "the
@@ -593,23 +727,23 @@ func (s *Server) searchContext(r *http.Request, timeoutMS int) (context.Context,
 // to their own statuses and counters: an exceeded deadline is 504 with
 // a distinguishable {"code":"deadline_exceeded"} payload, a
 // disconnected client 499, anything else a plain 400.
-func writeSearchError(w http.ResponseWriter, e *entry, err error) {
+func writeSearchError(w http.ResponseWriter, r *http.Request, e *entry, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		e.cancelled.Add(1)
-		writeJSON(w, http.StatusGatewayTimeout, map[string]string{
+		e.met.cancelled.Inc()
+		writeJSON(w, http.StatusGatewayTimeout, errBody(r, map[string]string{
 			"error": fmt.Sprintf("search abandoned: %v", err),
 			"code":  "deadline_exceeded",
-		})
+		}))
 	case errors.Is(err, context.Canceled):
-		e.cancelled.Add(1)
-		writeJSON(w, statusClientClosedRequest, map[string]string{
+		e.met.cancelled.Inc()
+		writeJSON(w, statusClientClosedRequest, errBody(r, map[string]string{
 			"error": fmt.Sprintf("search abandoned: %v", err),
 			"code":  "cancelled",
-		})
+		}))
 	default:
-		e.errors.Add(1)
-		writeError(w, http.StatusBadRequest, "%v", err)
+		e.met.errors.Inc()
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 	}
 }
 
@@ -619,26 +753,29 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Limit < 0 || req.TimeoutMS < 0 {
-		writeError(w, http.StatusBadRequest, "limit and timeout_ms must be non-negative")
+		writeError(w, r, http.StatusBadRequest, "limit and timeout_ms must be non-negative")
 		return
 	}
-	e, p, ok := s.lookup(w, req.Problem)
+	e, p, ok := s.lookup(w, r, req.Problem)
 	if !ok {
 		return
 	}
 	q, err := e.query(p, &req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	ctx, cancel := s.searchContext(r, req.TimeoutMS)
 	defer cancel()
-	ids, st, err := e.index.Search(ctx, q, req.options())
+	opt := req.options()
+	opt.Hooks = e.hooks
+	ids, st, err := e.index.Search(ctx, q, opt)
 	if err != nil {
-		writeSearchError(w, e, err)
+		writeSearchError(w, r, e, err)
 		return
 	}
 	e.record(st)
+	s.slow.maybe(requestID(r.Context()), "search", p, e.tau(req.Tau), req.L, req.Limit, st)
 	if ids == nil {
 		ids = []int64{}
 	}
@@ -683,19 +820,19 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Limit < 0 || req.TimeoutMS < 0 {
-		writeError(w, http.StatusBadRequest, "limit and timeout_ms must be non-negative")
+		writeError(w, r, http.StatusBadRequest, "limit and timeout_ms must be non-negative")
 		return
 	}
-	e, p, ok := s.lookup(w, req.Problem)
+	e, p, ok := s.lookup(w, r, req.Problem)
 	if !ok {
 		return
 	}
 	if len(req.QueryIDs) == 0 {
-		writeError(w, http.StatusBadRequest, "empty queryIds")
+		writeError(w, r, http.StatusBadRequest, "empty queryIds")
 		return
 	}
 	if len(req.QueryIDs) > maxBatchQueries {
-		writeError(w, http.StatusBadRequest, "batch of %d queries exceeds the limit of %d", len(req.QueryIDs), maxBatchQueries)
+		writeError(w, r, http.StatusBadRequest, "batch of %d queries exceeds the limit of %d", len(req.QueryIDs), maxBatchQueries)
 		return
 	}
 	queries := make([]engine.Query, len(req.QueryIDs))
@@ -703,16 +840,17 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		sr := SearchRequest{QueryID: &req.QueryIDs[i]}
 		q, err := e.query(p, &sr)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "query %d: %v", id, err)
+			writeError(w, r, http.StatusBadRequest, "query %d: %v", id, err)
 			return
 		}
 		queries[i] = q
 	}
 	ctx, cancel := s.searchContext(r, req.TimeoutMS)
 	defer cancel()
-	opt := engine.Options{Tau: req.Tau, ChainLength: req.L, Limit: req.Limit, SkipVerify: req.SkipVerify, Timings: req.Timings}
+	opt := engine.Options{Tau: req.Tau, ChainLength: req.L, Limit: req.Limit, SkipVerify: req.SkipVerify, Timings: req.Timings, Hooks: e.hooks}
 	batch := engine.SearchBatch(ctx, e.index, queries, opt, req.Workers)
 	resp := BatchResponse{Problem: string(p), Results: make([]BatchItem, len(batch))}
+	rid := requestID(r.Context())
 	deadlined := false
 	for i, br := range batch {
 		item := BatchItem{IDs: br.IDs, Stats: br.Stats}
@@ -722,13 +860,14 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case br.Err == nil:
 			e.record(br.Stats)
+			s.slow.maybe(rid, "search_batch", p, e.tau(req.Tau), req.L, req.Limit, br.Stats)
 		case errors.Is(br.Err, context.Canceled) || errors.Is(br.Err, context.DeadlineExceeded):
 			item.Error = br.Err.Error()
-			e.cancelled.Add(1)
+			e.met.cancelled.Inc()
 			deadlined = deadlined || errors.Is(br.Err, context.DeadlineExceeded)
 		default:
 			item.Error = br.Err.Error()
-			e.errors.Add(1)
+			e.met.errors.Inc()
 		}
 		resp.Results[i] = item
 	}
@@ -738,11 +877,15 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	// per-item errors decide the status, not ctx.Err() — a deadline
 	// that fires after the last query finished is no failure.
 	if deadlined {
-		writeJSON(w, http.StatusGatewayTimeout, map[string]any{
+		body := map[string]any{
 			"error":   "batch deadline exceeded",
 			"code":    "deadline_exceeded",
 			"results": resp.Results,
-		})
+		}
+		if rid != "" {
+			body["requestId"] = rid
+		}
+		writeJSON(w, http.StatusGatewayTimeout, body)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -784,17 +927,18 @@ type JoinResponse struct {
 	Stats   engine.Stats `json:"stats"`
 }
 
-// recordJoin folds one join outcome into the entry's live counters.
+// recordJoin folds one join outcome into the problem's registry slice.
 func (e *entry) recordJoin(st engine.Stats) {
-	e.joins.Add(1)
+	e.met.joins.Inc()
 	if st.Limited {
-		e.limited.Add(1)
+		e.met.limited.Inc()
 	}
-	e.joinPairs.Add(int64(st.Pairs))
-	e.candidates.Add(int64(st.Candidates))
-	e.filterNS.Add(st.FilterNS)
-	e.verifyNS.Add(st.VerifyNS)
-	e.wallNS.Add(st.WallNS)
+	e.met.joinPairs.Add(int64(st.Pairs))
+	e.met.candidates.Add(int64(st.Candidates))
+	e.met.filterNS.Add(st.FilterNS)
+	e.met.verifyNS.Add(st.VerifyNS)
+	e.met.wallNS.Add(st.WallNS)
+	e.met.joinSeconds.Observe(float64(st.WallNS) / 1e9)
 }
 
 func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
@@ -803,10 +947,10 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Limit < 0 || req.TimeoutMS < 0 {
-		writeError(w, http.StatusBadRequest, "limit and timeout_ms must be non-negative")
+		writeError(w, r, http.StatusBadRequest, "limit and timeout_ms must be non-negative")
 		return
 	}
-	e, p, ok := s.lookup(w, req.Problem)
+	e, p, ok := s.lookup(w, r, req.Problem)
 	if !ok {
 		return
 	}
@@ -814,7 +958,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		// Unreachable for indexes this server builds; kept so a future
 		// foreign index degrades into a clear answer instead of a 500.
-		writeError(w, http.StatusNotImplemented, "%s index does not support joins", p)
+		writeError(w, r, http.StatusNotImplemented, "%s index does not support joins", p)
 		return
 	}
 	ctx, cancel := s.searchContext(r, req.TimeoutMS)
@@ -826,10 +970,11 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		Timings:     req.Timings,
 	})
 	if err != nil {
-		writeSearchError(w, e, err)
+		writeSearchError(w, r, e, err)
 		return
 	}
 	e.recordJoin(st)
+	s.slow.maybe(requestID(r.Context()), "join", p, e.index.Tau(), req.L, req.Limit, st)
 	wire := make([][2]int64, len(pairs))
 	for i, pr := range pairs {
 		wire[i] = [2]int64{pr.I, pr.J}
@@ -920,23 +1065,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		if sh, ok := e.index.(*engine.Sharded); ok {
 			shards = sh.Shards()
 		}
+		// The serving counters are read back from the registry, so
+		// /v1/stats and /metrics can never disagree; counters are
+		// monotonic over the server's lifetime and survive reloads.
+		m := e.met
 		resp.Problems[string(p)] = ProblemStats{
 			Dataset:    e.dataset,
 			N:          e.index.Len(),
 			Tau:        e.index.Tau(),
 			Shards:     shards,
 			BuildMS:    e.buildMS,
-			Queries:    e.queries.Load(),
-			Errors:     e.errors.Load(),
-			Cancelled:  e.cancelled.Load(),
-			Limited:    e.limited.Load(),
-			Candidates: e.candidates.Load(),
-			Results:    e.results.Load(),
-			Joins:      e.joins.Load(),
-			JoinPairs:  e.joinPairs.Load(),
-			FilterMS:   float64(e.filterNS.Load()) / 1e6,
-			VerifyMS:   float64(e.verifyNS.Load()) / 1e6,
-			WallMS:     float64(e.wallNS.Load()) / 1e6,
+			Queries:    m.searches.Value(),
+			Errors:     m.errors.Value(),
+			Cancelled:  m.cancelled.Value(),
+			Limited:    m.limited.Value(),
+			Candidates: m.candidates.Value(),
+			Results:    m.results.Value(),
+			Joins:      m.joins.Value(),
+			JoinPairs:  m.joinPairs.Value(),
+			FilterMS:   float64(m.filterNS.Value()) / 1e6,
+			VerifyMS:   float64(m.verifyNS.Value()) / 1e6,
+			WallMS:     float64(m.wallNS.Value()) / 1e6,
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

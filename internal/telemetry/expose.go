@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (version 0.0.4): families sorted by name,
+// series within a family sorted by label signature, histogram buckets
+// cumulative with the +Inf bucket equal to _count. The output is
+// deterministic for a fixed set of values, so golden tests can pin it.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	// Snapshot the family/series structure under the lock, then read
+	// the atomic values outside it: a scrape must not block
+	// registration, and values are independently atomic anyway.
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	sers := make([][]*metric, len(names))
+	for i, name := range names {
+		f := r.families[name]
+		fams[i] = f
+		sigs := make([]string, 0, len(f.series))
+		for sig := range f.series {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		ms := make([]*metric, len(sigs))
+		for j, sig := range sigs {
+			ms[j] = f.series[sig]
+		}
+		sers[i] = ms
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for i, f := range fams {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, m := range sers[i] {
+			switch f.kind {
+			case KindCounter:
+				writeSample(bw, f.name, "", m.labels, "", "", float64(m.c.Value()))
+			case KindGauge:
+				writeSample(bw, f.name, "", m.labels, "", "", m.g.Value())
+			case KindHistogram:
+				h := m.h
+				// Bucket counts are independently atomic; summing the
+				// per-bucket loads (rather than reading h.count) keeps
+				// the emitted buckets internally cumulative even if
+				// observations land mid-scrape.
+				var cum uint64
+				for bi, bound := range h.bounds {
+					cum += h.counts[bi].Load()
+					writeSample(bw, f.name, "_bucket", m.labels, "le", formatFloat(bound), float64(cum))
+				}
+				cum += h.counts[len(h.bounds)].Load()
+				writeSample(bw, f.name, "_bucket", m.labels, "le", "+Inf", float64(cum))
+				writeSample(bw, f.name, "_sum", m.labels, "", "", h.Sum())
+				writeSample(bw, f.name, "_count", m.labels, "", "", float64(cum))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves the exposition over HTTP with the standard
+// text-format content type — mount it on GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// writeSample emits one sample line: name+suffix{labels,extra="…"} value.
+func writeSample(w *bufio.Writer, name, suffix string, labels []Label, extraName, extraVal string, v float64) {
+	w.WriteString(name)
+	w.WriteString(suffix)
+	if len(labels) > 0 || extraName != "" {
+		w.WriteByte('{')
+		first := true
+		for _, l := range labels {
+			if !first {
+				w.WriteByte(',')
+			}
+			first = false
+			w.WriteString(l.Name)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(l.Value))
+			w.WriteByte('"')
+		}
+		if extraName != "" {
+			if !first {
+				w.WriteByte(',')
+			}
+			w.WriteString(extraName)
+			w.WriteString(`="`)
+			w.WriteString(extraVal)
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(v))
+	w.WriteByte('\n')
+}
+
+// formatFloat renders a sample value: integers without an exponent or
+// trailing zeros (counters and bucket counts stay greppable), other
+// values in Go's shortest round-trip form.
+func formatFloat(v float64) string {
+	// The magnitude guard keeps the int64 conversion exact; beyond
+	// 2^53 the float has no fractional part anyway but may not fit.
+	if v == float64(int64(v)) && v > -1e15 && v < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestGoldenExposition pins the full text-format output: family and
+// series ordering, label escaping, histogram bucket cumulativity, and
+// value formatting. Any encoder change must consciously update this.
+func TestGoldenExposition(t *testing.T) {
+	r := NewRegistry()
+	// Registered deliberately out of name order to prove sorting.
+	r.Gauge("zz_inflight", "in-flight requests").Set(2)
+	r.Counter("requests_total", "HTTP requests", L("endpoint", "search"), L("code", "200")).Add(3)
+	r.Counter("requests_total", "HTTP requests", L("endpoint", "join"), L("code", "200")).Inc()
+	r.Counter("escape_total", "line one\nline two", L("v", `quote " slash \ nl`+"\n")).Inc()
+	h := r.Histogram("latency_seconds", "request latency", []float64{0.25, 0.5, 1}, L("problem", "hamming"))
+	for _, v := range []float64{0.1, 0.3, 0.3, 2} {
+		h.Observe(v)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP escape_total line one\nline two
+# TYPE escape_total counter
+escape_total{v="quote \" slash \\ nl\n"} 1
+# HELP latency_seconds request latency
+# TYPE latency_seconds histogram
+latency_seconds_bucket{problem="hamming",le="0.25"} 1
+latency_seconds_bucket{problem="hamming",le="0.5"} 3
+latency_seconds_bucket{problem="hamming",le="1"} 3
+latency_seconds_bucket{problem="hamming",le="+Inf"} 4
+latency_seconds_sum{problem="hamming"} 2.7
+latency_seconds_count{problem="hamming"} 4
+# HELP requests_total HTTP requests
+# TYPE requests_total counter
+requests_total{code="200",endpoint="join"} 1
+requests_total{code="200",endpoint="search"} 3
+# HELP zz_inflight in-flight requests
+# TYPE zz_inflight gauge
+zz_inflight 2
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "a_total 1\n") {
+		t.Fatalf("body %q", rec.Body.String())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"}, {42, "42"}, {-3, "-3"}, {2.5, "2.5"},
+		{1e18, "1e+18"}, // beyond the exact-int64 window: scientific form
+	} {
+		if got := formatFloat(tc.v); got != tc.want {
+			t.Fatalf("formatFloat(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+	x, y := 0.1, 0.2 // runtime addition: 0.30000000000000004
+	if got := formatFloat(x + y); got != strconv.FormatFloat(x+y, 'g', -1, 64) {
+		t.Fatalf("shortest round-trip form broken: %q", got)
+	}
+}

@@ -1,0 +1,360 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name/value pair attached to a metric series. Label
+// names must match the Prometheus label grammar; values are free-form
+// (the encoder escapes them).
+type Label struct {
+	Name, Value string
+}
+
+// L builds a Label; registration sites read better with
+// telemetry.L("problem", "hamming") than a struct literal.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Kind discriminates the three metric types.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// Counter is a monotonically increasing int64. Updates are single
+// atomic ops; safe for any number of concurrent writers.
+type Counter struct {
+	labels []Label
+	v      atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n. Counters are monotonic: a negative n
+// panics, because a decrease would silently corrupt every rate()
+// computed over the series.
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("telemetry: counter add of negative %d", n))
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 that may go up and down. Set is an atomic store;
+// Add is a CAS loop. Safe for concurrent use.
+type Gauge struct {
+	labels []Label
+	bits   atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by delta (negative deltas decrease it).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets. The bounds are
+// upper bounds (Prometheus "le" semantics): an observation v lands in
+// the first bucket with v <= bound, or the implicit +Inf overflow
+// bucket past the last bound. Observations are lock-free: a binary
+// search plus atomic increments.
+type Histogram struct {
+	labels []Label
+	bounds []float64       // strictly increasing upper bounds
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-added
+}
+
+// NewHistogram builds a standalone histogram (no registry) over the
+// given strictly increasing bounds. Registry.Histogram is the
+// registered variant; the standalone form exists for consumers like
+// the benchmark harness that want percentiles without an exposition.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram bounds not strictly increasing at %d: %v <= %v", i, bounds[i], bounds[i-1]))
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose bound is >= v, i.e. the "le" bucket v falls
+	// in; len(bounds) is the +Inf overflow.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Bounds returns the histogram's upper bounds (without +Inf).
+func (h *Histogram) Bounds() []float64 {
+	out := make([]float64, len(h.bounds))
+	copy(out, h.bounds)
+	return out
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) from the bucket
+// counts by linear interpolation inside the bucket holding the target
+// rank — the usual Prometheus histogram_quantile estimate. It returns
+// NaN with no observations; values in the +Inf overflow bucket clamp
+// to the last finite bound. Under concurrent observation the estimate
+// is approximate (the buckets are read without a snapshot).
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			return lower + (h.bounds[i]-lower)*((rank-cum)/c)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// ExpBuckets returns n exponentially spaced bounds: start,
+// start*factor, start*factor², …. start must be positive and factor
+// > 1.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("telemetry: ExpBuckets(%v, %v, %d): need start > 0, factor > 1, n >= 1", start, factor, n))
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencySeconds is the standard request-latency layout: 10µs to ~42s
+// in 22 doubling buckets, wide enough for a sub-millisecond hamming
+// search and a multi-second graph join alike.
+func LatencySeconds() []float64 { return ExpBuckets(10e-6, 2, 22) }
+
+// metric is one registered series.
+type metric struct {
+	labels []Label // sorted by name
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups the series sharing one metric name.
+type family struct {
+	name, help string
+	kind       Kind
+	bounds     []float64 // histogram families share bounds
+	series     map[string]*metric
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// format. Registration takes a lock; metric updates through the
+// returned handles never do. The zero Registry is not usable — call
+// NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns the counter series name{labels}, creating family and
+// series as needed. Re-registering with the same name and labels
+// returns the same handle; a kind clash panics.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	m := r.register(name, help, KindCounter, nil, labels)
+	return m.c
+}
+
+// Gauge returns the gauge series name{labels}; see Counter for the
+// idempotence contract.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	m := r.register(name, help, KindGauge, nil, labels)
+	return m.g
+}
+
+// Histogram returns the histogram series name{labels} over the given
+// bounds; every series of one family must share the bounds, and a
+// bounds clash panics like a kind clash.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	m := r.register(name, help, KindHistogram, bounds, labels)
+	return m.h
+}
+
+func (r *Registry) register(name, help string, kind Kind, bounds []float64, labels []Label) *metric {
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	for i, l := range ls {
+		if !validName(l.Name) {
+			panic(fmt.Sprintf("telemetry: invalid label name %q on %s", l.Name, name))
+		}
+		if i > 0 && ls[i-1].Name == l.Name {
+			panic(fmt.Sprintf("telemetry: duplicate label %q on %s", l.Name, name))
+		}
+	}
+	sig := signature(ls)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		var bs []float64
+		if kind == KindHistogram {
+			bs = NewHistogram(bounds).bounds // validates and copies
+		}
+		f = &family{name: name, help: help, kind: kind, bounds: bs, series: make(map[string]*metric)}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: %s registered as %s, re-registered as %s", name, f.kind, kind))
+	}
+	if kind == KindHistogram && !equalBounds(f.bounds, bounds) {
+		panic(fmt.Sprintf("telemetry: %s re-registered with different bounds", name))
+	}
+	if m := f.series[sig]; m != nil {
+		return m
+	}
+	m := &metric{labels: ls}
+	switch kind {
+	case KindCounter:
+		m.c = &Counter{labels: ls}
+	case KindGauge:
+		m.g = &Gauge{labels: ls}
+	case KindHistogram:
+		m.h = NewHistogram(f.bounds)
+		m.h.labels = ls
+	}
+	f.series[sig] = m
+	return m
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// validName checks the Prometheus metric/label name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]* (colons are reserved for rules but legal).
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// signature canonicalizes a sorted label list into the series map key.
+func signature(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, l := range ls {
+		b.WriteString(l.Name)
+		b.WriteByte(1)
+		b.WriteString(l.Value)
+		b.WriteByte(2)
+	}
+	return b.String()
+}
