@@ -7,7 +7,14 @@
 //
 //	pigeonring -problem hamming|set|string|graph [-mode search|join]
 //	           [-n 5000] [-tau τ] [-l chain] [-queries 10] [-shards 1]
-//	           [-limit 0]
+//	           [-limit 0] [-save file] [-from-snapshot file]
+//
+// -save persists the built index as a snapshot container after the
+// run's build step; -from-snapshot skips building entirely and opens
+// a previously saved container instead (the problem, τ and shard
+// layout come from the file, overriding -problem/-n/-tau/-shards).
+// Queries against a snapshot-opened index are replayed from the index
+// itself, so no dataset is regenerated.
 //
 // In search mode (the default), for each sampled query it prints the
 // result count and the candidate counts of the baseline (l = 1) and
@@ -50,6 +57,8 @@ func main() {
 	shards := flag.Int("shards", 1, "engine shards per index (-1 = auto by corpus size)")
 	limit := flag.Int("limit", 0, "stop each search after the first k ids (0 = all)")
 	seed := flag.Int64("seed", 42, "dataset seed")
+	save := flag.String("save", "", "write the built index to this snapshot file")
+	fromSnapshot := flag.String("from-snapshot", "", "open the index from this snapshot file instead of building")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -68,9 +77,28 @@ func main() {
 		os.Exit(2)
 	}
 
-	ix, queriesQ, err := build(p, *n, *tau, *shards, *seed)
-	if err != nil {
-		log.Fatal(err)
+	var ix engine.Index
+	var queriesQ []engine.Query
+	if *fromSnapshot != "" {
+		// The snapshot records the problem; it overrides -problem so a
+		// saved set index never searches as hamming by accident.
+		ix, _, err = engine.OpenSnapshotFile(*fromSnapshot, 0, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p = ix.Problem()
+	} else {
+		ix, queriesQ, err = build(p, *n, *tau, *shards, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *save != "" {
+		written, err := engine.WriteSnapshotFile(ix, *save, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved snapshot %s (%d bytes)\n", *save, written)
 	}
 	baseName := map[engine.Problem]string{
 		engine.Hamming: "GPH", engine.Set: "pkwise", engine.String: "Pivotal", engine.Graph: "Pars",
@@ -87,7 +115,10 @@ func main() {
 	base := engine.Options{ChainLength: 1, Limit: *limit}
 	sampled := dataset.SampleQueries(ix.Len(), *queries, *seed)
 	for _, qi := range sampled {
-		q := queriesQ[qi]
+		q, err := queryAt(ix, queriesQ, qi)
+		if err != nil {
+			log.Fatal(err)
+		}
 		_, bst, err := ix.Search(ctx, q, base)
 		if stopOnCancel(err) {
 			return
@@ -145,6 +176,16 @@ func runJoin(ctx context.Context, ix engine.Index, p engine.Problem, baseName st
 		fmt.Printf("  (%d, %d)\n", pr.I, pr.J)
 	}
 	fmt.Printf("join time: %s %.3fms, Ring %.3fms (speedup %s)\n", baseName, baseMS, ringMS, speedup)
+}
+
+// queryAt resolves one sampled query: from the generated dataset when
+// the index was built in-process, or replayed out of the index itself
+// when it came from a snapshot (no dataset in memory).
+func queryAt(ix engine.Index, queriesQ []engine.Query, qi int) (engine.Query, error) {
+	if queriesQ != nil {
+		return queriesQ[qi], nil
+	}
+	return engine.Object(ix, qi)
 }
 
 // stopOnCancel distinguishes a Ctrl-C abort (clean exit) from a real

@@ -8,12 +8,17 @@
 //
 //	pigeonringd [-addr :8080] [-workers 0] [-search-timeout 0]
 //	            [-metrics=true] [-slow-query-ms 0] [-pprof-addr ""]
+//	            [-snapshot-dir ""]
 //
 // Quickstart:
 //
-//	pigeonringd &
+//	pigeonringd -snapshot-dir /var/lib/pigeonring &
 //	curl -s -X POST localhost:8080/v1/load \
 //	    -d '{"problem":"hamming","n":5000,"shards":4}'
+//	curl -s -X POST localhost:8080/v1/snapshot \
+//	    -d '{"problem":"hamming"}'
+//	curl -s -X POST localhost:8080/v1/load \
+//	    -d '{"snapshot":"hamming.snap"}'
 //	curl -s -X POST localhost:8080/v1/search \
 //	    -d '{"problem":"hamming","queryId":17,"l":6,"timings":true}'
 //	curl -s -X POST localhost:8080/v1/search \
@@ -41,6 +46,12 @@
 // from the serving address so profiling is never exposed on the
 // public port. Use /v1/readyz as the orchestrator readiness probe.
 //
+// Persistence: -snapshot-dir names the directory POST /v1/snapshot
+// writes index containers into and snapshot reloads read from; a
+// restarted daemon skips the rebuild by loading from the snapshot
+// (see the README's Persistence section). Empty (the default) leaves
+// both endpoints answering 501.
+//
 // The process shuts down gracefully on SIGINT/SIGTERM, draining
 // in-flight requests before exiting.
 package main
@@ -52,6 +63,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -69,6 +81,7 @@ func main() {
 	metrics := flag.Bool("metrics", true, "serve the Prometheus text exposition on GET /metrics")
 	slowQueryMS := flag.Int("slow-query-ms", 0, "log searches and joins slower than this to stderr as JSON lines (0 = off)")
 	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof, e.g. localhost:6060 (empty = off)")
+	snapshotDir := flag.String("snapshot-dir", "", "directory for POST /v1/snapshot containers and snapshot reloads (empty = persistence off)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -92,11 +105,17 @@ func main() {
 		}()
 	}
 
+	if *snapshotDir != "" {
+		if err := os.MkdirAll(*snapshotDir, 0o755); err != nil {
+			log.Fatalf("snapshot dir: %v", err)
+		}
+	}
 	handler := server.NewFromConfig(server.Config{
 		Workers:            *workers,
 		SearchTimeout:      *searchTimeout,
 		DisableMetrics:     !*metrics,
 		SlowQueryThreshold: time.Duration(*slowQueryMS) * time.Millisecond,
+		SnapshotDir:        *snapshotDir,
 	}).Handler()
 
 	srv := &http.Server{

@@ -88,6 +88,22 @@ func (v Vector) Clear(i int) { v.w[i/64] &^= 1 << (uint(i) % 64) }
 // Flip inverts bit i.
 func (v Vector) Flip(i int) { v.w[i/64] ^= 1 << (uint(i) % 64) }
 
+// Words returns the vector's packed 64-bit words. The slice aliases the
+// vector's storage; callers must treat it as read-only.
+func (v Vector) Words() []uint64 { return v.w }
+
+// FromWords builds a d-dimensional vector over the given packed words,
+// which must number exactly (d+63)/64. The vector aliases words; bits
+// beyond the dimension are zeroed.
+func FromWords(d int, words []uint64) Vector {
+	if len(words) != (d+63)/64 {
+		panic(fmt.Sprintf("bitvec: %d words cannot hold %d dims", len(words), d))
+	}
+	v := Vector{d: d, w: words}
+	v.maskTail()
+	return v
+}
+
 // Clone returns an independent copy.
 func (v Vector) Clone() Vector {
 	c := Vector{d: v.d, w: make([]uint64, len(v.w))}

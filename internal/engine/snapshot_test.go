@@ -1,0 +1,269 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/dataset"
+	"repro/internal/snapshot"
+)
+
+// roundTrip serializes ix into memory and opens it again, failing the
+// test on any error.
+func roundTrip(t *testing.T, ix Index, workers int, hooks *Hooks) Index {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := WriteSnapshot(ix, &buf, hooks)
+	if err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteSnapshot reported %d bytes, wrote %d", n, buf.Len())
+	}
+	out, err := OpenSnapshot(bytes.NewReader(buf.Bytes()), workers, hooks)
+	if err != nil {
+		t.Fatalf("OpenSnapshot: %v", err)
+	}
+	return out
+}
+
+// TestSnapshotRoundTrip is the tentpole acceptance test: for every
+// problem, both unsharded and sharded, a written-then-opened index
+// answers every query with the exact ids and stats of the original.
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, tc := range buildCases(t, 3) {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, ix := range []Index{tc.unsharded, tc.sharded} {
+				re := roundTrip(t, ix, 0, nil)
+				if re.Problem() != ix.Problem() || re.Len() != ix.Len() || re.Tau() != ix.Tau() {
+					t.Fatalf("identity differs: %v/%d/%v, want %v/%d/%v",
+						re.Problem(), re.Len(), re.Tau(), ix.Problem(), ix.Len(), ix.Tau())
+				}
+				if _, wasSharded := ix.(*Sharded); wasSharded {
+					if sh, ok := re.(*Sharded); !ok {
+						t.Fatalf("sharded index reopened as %T", re)
+					} else if sh.Shards() != ix.(*Sharded).Shards() {
+						t.Fatalf("reopened with %d shards, want %d", sh.Shards(), ix.(*Sharded).Shards())
+					}
+				}
+				for qi, q := range tc.queries {
+					want, wantStats, err := ix.Search(context.Background(), q, Options{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, gotStats, err := re.Search(context.Background(), q, Options{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !sameIDs(got, want) {
+						t.Fatalf("query %d: ids %v after round trip, want %v", qi, got, want)
+					}
+					if gotStats.Candidates != wantStats.Candidates || gotStats.Results != wantStats.Results {
+						t.Fatalf("query %d: stats %d/%d after round trip, want %d/%d",
+							qi, gotStats.Candidates, gotStats.Results, wantStats.Candidates, wantStats.Results)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestObject verifies the query-by-id capability on snapshot-loaded
+// indexes: Object(id) must return a query that searches identically to
+// the original raw object, for plain and sharded indexes alike.
+func TestObject(t *testing.T) {
+	for _, tc := range buildCases(t, 3) {
+		t.Run(tc.name, func(t *testing.T) {
+			re := roundTrip(t, tc.sharded, 0, nil)
+			for _, id := range []int{0, re.Len() / 2, re.Len() - 1} {
+				q, err := Object(re, id)
+				if err != nil {
+					t.Fatalf("Object(%d): %v", id, err)
+				}
+				if q.Kind() != re.Problem() {
+					t.Fatalf("Object(%d) kind %v, want %v", id, q.Kind(), re.Problem())
+				}
+				got, _, err := re.Search(context.Background(), q, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, _, err := tc.unsharded.Search(context.Background(), q, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameIDs(got, want) {
+					t.Fatalf("Object(%d) search ids %v, want %v", id, got, want)
+				}
+				found := false
+				for _, r := range got {
+					if r == int64(id) {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("Object(%d) search %v does not contain the object itself", id, got)
+				}
+			}
+			if _, err := Object(re, -1); err == nil {
+				t.Fatal("negative id accepted")
+			}
+			if _, err := Object(re, re.Len()); err == nil {
+				t.Fatal("out-of-range id accepted")
+			}
+		})
+	}
+}
+
+// TestSnapshotFileHelpers covers the atomic write + open-by-path pair,
+// including overwrite-in-place and the reported size.
+func TestSnapshotFileHelpers(t *testing.T) {
+	tc := buildCases(t, 2)[0]
+	path := filepath.Join(t.TempDir(), "ix.snap")
+	n, err := WriteSnapshotFile(tc.sharded, path, nil)
+	if err != nil {
+		t.Fatalf("WriteSnapshotFile: %v", err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != n {
+		t.Fatalf("file is %d bytes, WriteSnapshotFile reported %d", fi.Size(), n)
+	}
+	// Overwrite with a different index; the open must see the new one.
+	if _, err := WriteSnapshotFile(tc.unsharded, path, nil); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	ix, size, err := OpenSnapshotFile(path, 0, nil)
+	if err != nil {
+		t.Fatalf("OpenSnapshotFile: %v", err)
+	}
+	if _, isSharded := ix.(*Sharded); isSharded {
+		t.Fatalf("expected the overwritten unsharded index, got %T", ix)
+	}
+	if size <= 0 {
+		t.Fatalf("size = %d, want > 0", size)
+	}
+	// Leftover temp files would break the atomicity story.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("snapshot dir has %d entries, want only the snapshot", len(entries))
+	}
+
+	if _, _, err := OpenSnapshotFile(filepath.Join(t.TempDir(), "missing"), 0, nil); err == nil {
+		t.Fatal("missing file opened")
+	}
+}
+
+// TestSnapshotRejectsWrongContainer checks the typed failure modes at
+// the engine layer: foreign backend tags and truncation.
+func TestSnapshotRejectsWrongContainer(t *testing.T) {
+	var raw bytes.Buffer
+	b := snapshot.NewBuilder()
+	b.AddU64s("meta", []uint64{1})
+	if _, err := b.WriteTo(&raw, "something-else"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSnapshot(bytes.NewReader(raw.Bytes()), 0, nil); !errors.Is(err, snapshot.ErrBackend) {
+		t.Fatalf("foreign backend err = %v, want ErrBackend", err)
+	}
+
+	tc := buildCases(t, 2)[0]
+	var buf bytes.Buffer
+	if _, err := WriteSnapshot(tc.unsharded, &buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSnapshot(bytes.NewReader(buf.Bytes()[:buf.Len()/2]), 0, nil); err == nil {
+		t.Fatal("truncated snapshot opened")
+	}
+}
+
+// The open-vs-build pair below evidences the acceptance criterion for
+// persistence: opening a snapshot of the pigeonbench hamming corpus
+// (GIST-shaped 2,000×256-bit vectors, m = 16, τ = 32 — see
+// perfbench.DefaultSizes) must beat rebuilding the index from the raw
+// vectors by ≥ 10×. Run both with
+//
+//	go test ./internal/engine/ -run=NONE -bench='Hamming(Build|SnapshotOpen)'
+//
+// and compare ns/op.
+
+func benchVectors(b *testing.B) []bitvec.Vector {
+	b.Helper()
+	return dataset.GIST(2000, 42)
+}
+
+func BenchmarkHammingBuild(b *testing.B) {
+	vecs := benchVectors(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildHamming(vecs, 16, 32, 1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHammingSnapshotOpen(b *testing.B) {
+	vecs := benchVectors(b)
+	ix, err := BuildHamming(vecs, 16, 32, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := WriteSnapshot(ix, &buf, nil); err != nil {
+		b.Fatal(err)
+	}
+	rd := bytes.NewReader(buf.Bytes())
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OpenSnapshot(rd, 0, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHammingSnapshotWrite(b *testing.B) {
+	ix, err := BuildHamming(benchVectors(b), 16, 32, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if _, err := WriteSnapshot(ix, &buf, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+// TestSnapshotHooks verifies the tracing spans fire once per pass.
+func TestSnapshotHooks(t *testing.T) {
+	var mu sync.Mutex
+	got := map[Stage]int{}
+	hooks := &Hooks{Stage: func(s Stage, d time.Duration) {
+		mu.Lock()
+		got[s]++
+		mu.Unlock()
+		if d < 0 {
+			t.Errorf("stage %v duration %v", s, d)
+		}
+	}}
+	tc := buildCases(t, 2)[0]
+	roundTrip(t, tc.sharded, 0, hooks)
+	if got[StageSnapshotWrite] != 1 || got[StageSnapshotOpen] != 1 {
+		t.Fatalf("spans = %v, want one write and one open", got)
+	}
+}

@@ -35,6 +35,12 @@ const (
 	// StageSort is the result-ordering step of a join (pairs are
 	// merged across blocks, then sorted into (I, J) order).
 	StageSort Stage = "sort"
+	// StageSnapshotWrite is one full WriteSnapshot pass — serializing
+	// an index into its on-disk container.
+	StageSnapshotWrite Stage = "snapshot-write"
+	// StageSnapshotOpen is one full OpenSnapshot pass — validating a
+	// container and reconstructing the index from it.
+	StageSnapshotOpen Stage = "snapshot-open"
 )
 
 // Hooks is the set of tracing callbacks; see the package comment

@@ -149,10 +149,17 @@ func NewDBWithPartitioner(graphs []*Graph, tau int, part Partitioner) (*DB, erro
 		db.labels[id] = Labels(g)
 		db.ecount[id] = g.EdgeCount()
 	}
+	db.initRuntime()
+	return db, nil
+}
+
+// initRuntime sets up the scratch pool, shared by
+// NewDBWithPartitioner and OpenSnapshot.
+func (db *DB) initRuntime() {
+	m := db.tau + 1
 	db.scratch.New = func() any {
 		return &searchScratch{cache: newBoxCache(m), ks: new(kernelScratch)}
 	}
-	return db, nil
 }
 
 // Len returns the number of indexed graphs.

@@ -1,0 +1,173 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/snapshot"
+)
+
+// SnapshotBackend tags whole-file graph snapshots.
+const SnapshotBackend = "graph"
+
+// WriteSnapshot writes the fully built index to w as a one-backend
+// snapshot container, returning the bytes written. The pre-partitioned
+// parts are stored as explicit subgraphs, so a reload reproduces the
+// exact partition even when the index was built with a custom
+// Partitioner; label vectors and edge counts are recomputed on open.
+func (db *DB) WriteSnapshot(w io.Writer) (int64, error) {
+	b := snapshot.NewBuilder()
+	if err := db.AppendSnapshot(b, ""); err != nil {
+		return 0, err
+	}
+	return b.WriteTo(w, SnapshotBackend)
+}
+
+// OpenSnapshot loads a DB from a snapshot written by WriteSnapshot.
+func OpenSnapshot(r io.ReaderAt) (*DB, error) {
+	rd, err := snapshot.Open(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := rd.CheckBackend(SnapshotBackend); err != nil {
+		return nil, err
+	}
+	return OpenSnapshotAt(rd, "")
+}
+
+// AppendSnapshot adds the DB's sections to b under the given name
+// prefix.
+func (db *DB) AppendSnapshot(b *snapshot.Builder, prefix string) error {
+	m := db.tau + 1
+	b.AddU64s(prefix+"meta", []uint64{uint64(db.tau), uint64(len(db.graphs))})
+	appendGraphs(b, prefix+"g.", db.graphs)
+	flat := make([]*Graph, 0, len(db.parts)*m)
+	for _, ps := range db.parts {
+		flat = append(flat, ps...)
+	}
+	appendGraphs(b, prefix+"p.", flat)
+	return nil
+}
+
+// appendGraphs flattens a graph list into four sections: cumulative
+// vertex offsets, vertex labels, cumulative edge offsets, and edges as
+// (u, v, label) triples.
+func appendGraphs(b *snapshot.Builder, prefix string, gs []*Graph) {
+	vLens := make([]int, len(gs))
+	eLens := make([]int, len(gs))
+	var vlab []int32
+	var edges []int32
+	for i, g := range gs {
+		vLens[i] = g.n
+		eLens[i] = g.e
+		vlab = append(vlab, g.vlab...)
+		for u := 0; u < g.n; u++ {
+			for v := u + 1; v < g.n; v++ {
+				if l := g.elab[u*g.n+v]; l >= 0 {
+					edges = append(edges, int32(u), int32(v), l)
+				}
+			}
+		}
+	}
+	b.AddU64s(prefix+"voff", snapshot.Offsets(vLens))
+	b.AddI32s(prefix+"vlab", vlab)
+	b.AddU64s(prefix+"eoff", snapshot.Offsets(eLens))
+	b.AddI32s(prefix+"edges", edges)
+}
+
+// readGraphs is the inverse of appendGraphs; count is the expected
+// number of graphs.
+func readGraphs(rd *snapshot.Reader, prefix string, count int) ([]*Graph, error) {
+	voff, err := rd.U64s(prefix + "voff")
+	if err != nil {
+		return nil, err
+	}
+	vlab, err := rd.I32s(prefix + "vlab")
+	if err != nil {
+		return nil, err
+	}
+	eoff, err := rd.U64s(prefix + "eoff")
+	if err != nil {
+		return nil, err
+	}
+	edges, err := rd.I32s(prefix + "edges")
+	if err != nil {
+		return nil, err
+	}
+	if len(voff) != count+1 || len(eoff) != count+1 {
+		return nil, fmt.Errorf("%s: %d vertex and %d edge offsets, want %d graphs",
+			prefix, len(voff), len(eoff), count)
+	}
+	if int(voff[count]) != len(vlab) || int(eoff[count])*3 != len(edges) {
+		return nil, fmt.Errorf("%s: label/edge regions disagree with offsets", prefix)
+	}
+	gs := make([]*Graph, count)
+	for i := range gs {
+		vlo, vhi := voff[i], voff[i+1]
+		elo, ehi := eoff[i], eoff[i+1]
+		if vlo > vhi || elo > ehi || vhi > uint64(len(vlab)) || int(ehi)*3 > len(edges) {
+			return nil, fmt.Errorf("%s: offsets not monotone at graph %d", prefix, i)
+		}
+		g := New(int(vhi - vlo))
+		copy(g.vlab, vlab[vlo:vhi])
+		for e := int(elo); e < int(ehi); e++ {
+			u, v, l := edges[3*e], edges[3*e+1], edges[3*e+2]
+			if u < 0 || v <= u || int(v) >= g.n || l < 0 {
+				return nil, fmt.Errorf("%s: graph %d has invalid edge (%d,%d,%d)", prefix, i, u, v, l)
+			}
+			g.AddEdge(int(u), int(v), l)
+		}
+		gs[i] = g
+	}
+	return gs, nil
+}
+
+// OpenSnapshotAt reconstructs a DB from the section group under the
+// given prefix of an already-opened container.
+func OpenSnapshotAt(rd *snapshot.Reader, prefix string) (*DB, error) {
+	fail := func(err error) (*DB, error) {
+		return nil, fmt.Errorf("graph: snapshot %q: %w", prefix, err)
+	}
+	meta, err := rd.U64s(prefix + "meta")
+	if err != nil {
+		return fail(err)
+	}
+	if len(meta) != 2 {
+		return nil, fmt.Errorf("graph: snapshot %q: meta has %d fields, want 2", prefix, len(meta))
+	}
+	tau, n := int(meta[0]), int(meta[1])
+	if tau < 0 || n < 0 {
+		return nil, fmt.Errorf("graph: snapshot %q: implausible τ=%d n=%d", prefix, tau, n)
+	}
+	m := tau + 1
+	graphs, err := readGraphs(rd, prefix+"g.", n)
+	if err != nil {
+		return fail(err)
+	}
+	flat, err := readGraphs(rd, prefix+"p.", n*m)
+	if err != nil {
+		return fail(err)
+	}
+	db := &DB{
+		tau:    tau,
+		graphs: graphs,
+		parts:  make([][]*Graph, n),
+		labels: make([]LabelVector, n),
+		ecount: make([]int, n),
+	}
+	for id, g := range graphs {
+		db.parts[id] = flat[id*m : (id+1)*m : (id+1)*m]
+		covered := 0
+		for _, p := range db.parts[id] {
+			covered += p.n
+		}
+		if covered != g.n {
+			return nil, fmt.Errorf("graph: snapshot %q: parts of graph %d cover %d of %d vertices",
+				prefix, id, covered, g.n)
+		}
+		db.labels[id] = Labels(g)
+		db.ecount[id] = g.EdgeCount()
+	}
+	db.initRuntime()
+	return db, nil
+}

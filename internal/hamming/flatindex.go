@@ -1,0 +1,112 @@
+package hamming
+
+import "math/bits"
+
+// partIndex is the inverted index of one part: an immutable
+// open-addressing hash table mapping a part value to the span of vector
+// ids holding that value. The whole table is three flat arrays — slot
+// keys, slot posting locations, and the concatenated posting ids — so a
+// snapshot stores the regions verbatim and reloading is a single
+// validation pass instead of a per-key map rebuild (which profiling
+// showed dominating snapshot opens).
+//
+// Collisions resolve by linear probing. Build keeps at least one slot
+// in four empty (newPartIndex sizes the table to ~0.75 load), so probe
+// runs stay short and a miss always terminates at an empty slot.
+type partIndex struct {
+	// keys[s] is the part value stored in slot s, meaningful only when
+	// loc[s] != 0.
+	keys []uint64
+	// loc[s] packs the posting span of slot s as start<<32|end into ids.
+	// 0 marks an empty slot — unambiguous because a real span has
+	// end > start ≥ 0, hence end ≥ 1.
+	loc []uint64
+	// ids holds the posting lists back to back, in ascending-key
+	// insertion order.
+	ids []int32
+}
+
+// slotOf maps a part value to its home slot in a c-slot table: a
+// splitmix64-style finalizer to spread the low-entropy part values over
+// 64 bits, then a multiply-shift range reduction onto [0, c). Non-power
+// -of-two capacities keep the table within ~4/3 of the key count
+// instead of rounding up to the next power of two (the table is
+// persisted byte-for-byte, so its size is snapshot size).
+func slotOf(v, c uint64) uint64 {
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	hi, _ := bits.Mul64(v, c)
+	return hi
+}
+
+// newPartIndex allocates a table for nKeys distinct values and nIDs
+// posting entries. The capacity nKeys + nKeys/3 + 1 bounds the load
+// factor by 3/4 and is never full, so lookups terminate.
+func newPartIndex(nKeys, nIDs int) partIndex {
+	c := nKeys + nKeys/3 + 1
+	return partIndex{
+		keys: make([]uint64, c),
+		loc:  make([]uint64, c),
+		ids:  make([]int32, nIDs),
+	}
+}
+
+// insert places key k with the posting span ids[start:end]. The caller
+// inserts distinct keys only, in ascending order, so the layout is a
+// pure function of the key set and the snapshot bytes are
+// deterministic.
+func (p *partIndex) insert(k uint64, start, end int) {
+	c := uint64(len(p.loc))
+	s := slotOf(k, c)
+	for p.loc[s] != 0 {
+		if s++; s == c {
+			s = 0
+		}
+	}
+	p.keys[s] = k
+	p.loc[s] = uint64(start)<<32 | uint64(end)
+}
+
+// lookup returns the ids whose part holds value v, or nil.
+func (p *partIndex) lookup(v uint64) []int32 {
+	c := uint64(len(p.loc))
+	s := slotOf(v, c)
+	for {
+		l := p.loc[s]
+		if l == 0 {
+			return nil
+		}
+		if p.keys[s] == v {
+			return p.ids[l>>32 : l&0xffffffff]
+		}
+		if s++; s == c {
+			s = 0
+		}
+	}
+}
+
+// validate checks the structural invariants a snapshot-loaded table
+// must satisfy before serving lookups: parallel key/loc arrays, at
+// least one empty slot (probe termination), and every posting span in
+// bounds. Content-level damage is the checksum layer's job; this pass
+// only rules out crashes and hangs.
+func (p *partIndex) validate() bool {
+	if len(p.keys) != len(p.loc) || len(p.loc) == 0 {
+		return false
+	}
+	empty := false
+	for _, l := range p.loc {
+		if l == 0 {
+			empty = true
+			continue
+		}
+		start, end := l>>32, l&0xffffffff
+		if start >= end || end > uint64(len(p.ids)) {
+			return false
+		}
+	}
+	return empty
+}

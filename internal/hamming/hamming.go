@@ -25,11 +25,11 @@ package hamming
 import (
 	"fmt"
 	"math/bits"
+	"slices"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/bitvec"
-	"repro/internal/core"
 	"repro/internal/pairs"
 )
 
@@ -95,8 +95,9 @@ type Stats struct {
 type DB struct {
 	vecs []bitvec.Vector
 	part bitvec.Partitioning
-	// index[i] maps the value of part i to the ids holding that value.
-	index []map[uint64][]int32
+	// index[i] maps the value of part i to the ids holding that value —
+	// a flat open-addressing table so snapshots persist it verbatim.
+	index []partIndex
 	// sample ids used by the cost model.
 	sample []int32
 	// sampleVals[i]/sampleCnts[i] hold the deduplicated part-i values
@@ -135,7 +136,9 @@ type searchScratch struct {
 	marked   []int32
 	qParts   []uint64
 	t        []int
-	tf       []float64
+	// tpre holds the doubled-ring prefix sums of the thresholds for the
+	// inlined integer chain check; len 2m+1.
+	tpre []int
 	// hists holds the per-part histogram views the allocator reads;
 	// histBuf is the fallback storage used when the cache is full.
 	hists   [][]int32
@@ -172,14 +175,33 @@ func NewDB(vecs []bitvec.Vector, m int) (*DB, error) {
 		return nil, fmt.Errorf("hamming: invalid part count m=%d for d=%d", m, d)
 	}
 	part := bitvec.NewEqualPartitioning(d, m)
-	index := make([]map[uint64][]int32, m)
+	// Group ids by part value in maps first, then freeze each part into
+	// its flat table, inserting in ascending key order so the layout
+	// (and therefore the snapshot bytes) is deterministic.
+	grouped := make([]map[uint64][]int32, m)
 	for i := 0; i < m; i++ {
-		index[i] = make(map[uint64][]int32)
+		grouped[i] = make(map[uint64][]int32)
 	}
 	for id, v := range vecs {
 		for i := 0; i < m; i++ {
 			val := part.Extract(v, i)
-			index[i][val] = append(index[i][val], int32(id))
+			grouped[i][val] = append(grouped[i][val], int32(id))
+		}
+	}
+	index := make([]partIndex, m)
+	for i := 0; i < m; i++ {
+		ks := make([]uint64, 0, len(grouped[i]))
+		for k := range grouped[i] {
+			ks = append(ks, k)
+		}
+		slices.Sort(ks)
+		index[i] = newPartIndex(len(ks), len(vecs))
+		pos := 0
+		for _, k := range ks {
+			post := grouped[i][k]
+			copy(index[i].ids[pos:], post)
+			index[i].insert(k, pos, pos+len(post))
+			pos += len(post)
 		}
 	}
 	const sampleSize = 256
@@ -193,7 +215,6 @@ func NewDB(vecs []bitvec.Vector, m int) (*DB, error) {
 	// needs distances to these values, never the vectors themselves.
 	db.sampleVals = make([][]uint64, m)
 	db.sampleCnts = make([][]int32, m)
-	db.histCache = make([]sync.Map, m)
 	for i := 0; i < m; i++ {
 		counts := make(map[uint64]int32, len(sample))
 		for _, id := range sample {
@@ -212,21 +233,29 @@ func NewDB(vecs []bitvec.Vector, m int) (*DB, error) {
 		db.sampleVals[i] = vals
 		db.sampleCnts[i] = cnts
 	}
+	db.initRuntime()
+	return db, nil
+}
+
+// initRuntime sets up the runtime-only state — histogram cache and
+// scratch pool — shared by NewDB and OpenSnapshot.
+func (db *DB) initRuntime() {
+	m := db.part.M()
+	db.histCache = make([]sync.Map, m)
 	db.scratch.New = func() any {
 		s := &searchScratch{
 			accepted: make([]bool, len(db.vecs)),
 			qParts:   make([]uint64, m),
 			t:        make([]int, m),
-			tf:       make([]float64, m),
+			tpre:     make([]int, 2*m+1),
 			hists:    make([][]int32, m),
 			histBuf:  make([][]int32, m),
 		}
 		for i := range s.histBuf {
-			s.histBuf[i] = make([]int32, part.Width(i)+1)
+			s.histBuf[i] = make([]int32, db.part.Width(i)+1)
 		}
 		return s
 	}
-	return db, nil
 }
 
 // Len returns the number of indexed vectors.
@@ -380,30 +409,25 @@ func (db *DB) Search(q bitvec.Vector, tau int, opt Options) ([]int, Stats, error
 	// t aliases pooled scratch; Stats must not retain it past the call.
 	st.Thresholds = append(make([]int, 0, m), t...)
 
-	tf := s.tf
-	for i, v := range t {
-		tf[i] = float64(v)
+	// Prefix sums of the thresholds over the doubled ring: the quota of
+	// the length-lp prefix of the chain starting at part i is
+	// tpre[i+lp]−tpre[i], plus lp−1 slack under Theorem 7 integer
+	// reduction. Box values and thresholds are both integers, so the
+	// chain check below compares ints directly — this replaces the
+	// former core.Filter/BoxFunc indirection, whose float quotas were
+	// exact on integer inputs but paid two interface dispatches plus a
+	// Filter allocation per search.
+	tpre := s.tpre
+	for i := 0; i < 2*m; i++ {
+		tpre[i+1] = tpre[i] + t[i%m]
 	}
-	// The Filter copies the thresholds out of tf at construction.
-	var filter *core.Filter
+	slack := 1
 	if opt.NoIntegerReduction {
-		filter = core.NewVariable(tf, l, core.LE)
-	} else {
-		filter = core.NewIntegerReduction(tf, l, core.LE)
+		slack = 0
 	}
 
 	accepted := s.accepted
 	results := s.results
-
-	// One lazy box ring is shared across all chain checks of the
-	// query; cur is repointed at the object under test, and the
-	// BoxValues conversion happens once here rather than per chain
-	// check, keeping the hot loop allocation free.
-	var cur bitvec.Vector
-	var boxes core.BoxValues = core.BoxFunc{M: m, F: func(j int) float64 {
-		st.BoxChecks++
-		return float64(db.part.PartDistance(cur, q, j))
-	}}
 
 	for i := 0; i < m; i++ {
 		if t[i] < 0 {
@@ -414,17 +438,33 @@ func (db *DB) Search(q bitvec.Vector, tau int, opt Options) ([]int, Stats, error
 		if ti > w {
 			ti = w
 		}
+		pidx := &db.index[i]
 		bitvec.EnumerateBall(qParts[i], w, ti, func(u uint64) {
 			st.Enumerated++
-			postings := db.index[i][u]
+			postings := pidx.lookup(u)
 			st.Probes += len(postings)
 			for _, id := range postings {
 				if accepted[id] {
 					continue
 				}
 				if l > 1 {
-					cur = db.vecs[id]
-					if !filter.PrefixViableFrom(boxes, i) {
+					cur := db.vecs[id]
+					sum, slk := 0, 0
+					viable := true
+					for lp := 1; lp <= l; lp++ {
+						k := i + lp - 1
+						if k >= m {
+							k -= m
+						}
+						st.BoxChecks++
+						sum += db.part.PartDistance(cur, q, k)
+						if sum > tpre[i+lp]-tpre[i]+slk {
+							viable = false
+							break
+						}
+						slk += slack
+					}
+					if !viable {
 						continue
 					}
 				}

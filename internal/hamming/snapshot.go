@@ -1,0 +1,207 @@
+package hamming
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bitvec"
+	"repro/internal/parallel"
+	"repro/internal/snapshot"
+)
+
+// SnapshotBackend tags whole-file hamming snapshots.
+const SnapshotBackend = "hamming"
+
+// WriteSnapshot writes the fully built index to w as a one-backend
+// snapshot container, returning the bytes written. The snapshot
+// round-trips everything NewDB computed — vectors, part index, and the
+// cost-model sample values — so OpenSnapshot skips construction
+// entirely.
+func (db *DB) WriteSnapshot(w io.Writer) (int64, error) {
+	b := snapshot.NewBuilder()
+	if err := db.AppendSnapshot(b, ""); err != nil {
+		return 0, err
+	}
+	return b.WriteTo(w, SnapshotBackend)
+}
+
+// OpenSnapshot loads a DB from a snapshot written by WriteSnapshot.
+func OpenSnapshot(r io.ReaderAt) (*DB, error) {
+	rd, err := snapshot.Open(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := rd.CheckBackend(SnapshotBackend); err != nil {
+		return nil, err
+	}
+	return OpenSnapshotAt(rd, "")
+}
+
+// AppendSnapshot adds the DB's sections to b under the given name
+// prefix. The engine layer uses the prefix to pack one section group
+// per shard into a single container.
+func (db *DB) AppendSnapshot(b *snapshot.Builder, prefix string) error {
+	m := db.part.M()
+	n := len(db.vecs)
+	d := db.part.D
+	b.AddU64s(prefix+"meta", []uint64{uint64(d), uint64(m), uint64(n)})
+
+	wpv := (d + 63) / 64
+	words := make([]uint64, 0, n*wpv)
+	for _, v := range db.vecs {
+		words = append(words, v.Words()...)
+	}
+	b.AddU64s(prefix+"vecs", words)
+
+	// The per-part flat tables are persisted verbatim: capacities, the
+	// concatenated slot keys and locations, cumulative posting-region
+	// offsets, and the concatenated posting ids. NewDB builds the tables
+	// deterministically, so the bytes are too.
+	caps := make([]uint64, m)
+	idLens := make([]int, m)
+	var keys, loc []uint64
+	var ids []int32
+	for i := range db.index {
+		p := &db.index[i]
+		caps[i] = uint64(len(p.loc))
+		idLens[i] = len(p.ids)
+		keys = append(keys, p.keys...)
+		loc = append(loc, p.loc...)
+		ids = append(ids, p.ids...)
+	}
+	b.AddU64s(prefix+"idx.cap", caps)
+	b.AddU64s(prefix+"idx.keys", keys)
+	b.AddU64s(prefix+"idx.loc", loc)
+	b.AddU64s(prefix+"idx.idoff", snapshot.Offsets(idLens))
+	b.AddI32s(prefix+"idx.ids", ids)
+
+	b.AddI32s(prefix+"sample", db.sample)
+	svCnt := make([]uint64, m)
+	var svVals []uint64
+	var svCnts []int32
+	for i := 0; i < m; i++ {
+		svCnt[i] = uint64(len(db.sampleVals[i]))
+		svVals = append(svVals, db.sampleVals[i]...)
+		svCnts = append(svCnts, db.sampleCnts[i]...)
+	}
+	b.AddU64s(prefix+"sv.cnt", svCnt)
+	b.AddU64s(prefix+"sv.vals", svVals)
+	b.AddI32s(prefix+"sv.cnts", svCnts)
+	return nil
+}
+
+// OpenSnapshotAt reconstructs a DB from the section group under the
+// given prefix of an already-opened container.
+func OpenSnapshotAt(rd *snapshot.Reader, prefix string) (*DB, error) {
+	fail := func(err error) (*DB, error) {
+		return nil, fmt.Errorf("hamming: snapshot %q: %w", prefix, err)
+	}
+	bad := func(format string, args ...any) (*DB, error) {
+		return nil, fmt.Errorf("hamming: snapshot %q: "+format, append([]any{prefix}, args...)...)
+	}
+
+	meta, err := rd.U64s(prefix + "meta")
+	if err != nil {
+		return fail(err)
+	}
+	if len(meta) != 3 {
+		return bad("meta has %d fields, want 3", len(meta))
+	}
+	d, m, n := int(meta[0]), int(meta[1]), int(meta[2])
+	if d < 1 || m < 1 || m > d || (d+m-1)/m > 64 || n < 1 {
+		return bad("implausible geometry d=%d m=%d n=%d", d, m, n)
+	}
+
+	// The remaining sections are independent, and checksumming them is
+	// the bulk of an open, so load them in parallel (Reader is safe for
+	// concurrent section reads).
+	var (
+		words, caps, keys, loc, idoff, svCnt, svVals []uint64
+		ids, sample, svCnts                          []int32
+	)
+	loads := []func() error{
+		func() (err error) { words, err = rd.U64s(prefix + "vecs"); return },
+		func() (err error) { caps, err = rd.U64s(prefix + "idx.cap"); return },
+		func() (err error) { keys, err = rd.U64s(prefix + "idx.keys"); return },
+		func() (err error) { loc, err = rd.U64s(prefix + "idx.loc"); return },
+		func() (err error) { idoff, err = rd.U64s(prefix + "idx.idoff"); return },
+		func() (err error) { ids, err = rd.I32s(prefix + "idx.ids"); return },
+		func() (err error) { sample, err = rd.I32s(prefix + "sample"); return },
+		func() (err error) { svCnt, err = rd.U64s(prefix + "sv.cnt"); return },
+		func() (err error) { svVals, err = rd.U64s(prefix + "sv.vals"); return },
+		func() (err error) { svCnts, err = rd.I32s(prefix + "sv.cnts"); return },
+	}
+	if err := parallel.ForEachErr(len(loads), 0, func(i int) error { return loads[i]() }); err != nil {
+		return fail(err)
+	}
+
+	wpv := (d + 63) / 64
+	if len(words) != n*wpv {
+		return bad("vecs has %d words, want %d", len(words), n*wpv)
+	}
+	vecs := make([]bitvec.Vector, n)
+	for i := range vecs {
+		vecs[i] = bitvec.FromWords(d, words[i*wpv:(i+1)*wpv:(i+1)*wpv])
+	}
+
+	if len(caps) != m || len(idoff) != m+1 {
+		return bad("index has %d capacities and %d id offsets, want %d parts", len(caps), len(idoff), m)
+	}
+	totalCap := 0
+	for _, c := range caps {
+		totalCap += int(c)
+	}
+	if len(keys) != totalCap || len(loc) != totalCap {
+		return bad("index regions have %d keys and %d locations, capacities sum %d",
+			len(keys), len(loc), totalCap)
+	}
+	if int(idoff[m]) != len(ids) {
+		return bad("posting regions end at %d, have %d ids", idoff[m], len(ids))
+	}
+	index := make([]partIndex, m)
+	pos := 0
+	for i := 0; i < m; i++ {
+		c := int(caps[i])
+		lo, hi := idoff[i], idoff[i+1]
+		if lo > hi || hi > uint64(len(ids)) {
+			return bad("posting offsets not monotone at part %d", i)
+		}
+		index[i] = partIndex{
+			keys: keys[pos : pos+c : pos+c],
+			loc:  loc[pos : pos+c : pos+c],
+			ids:  ids[lo:hi:hi],
+		}
+		if !index[i].validate() {
+			return bad("part %d index table is malformed", i)
+		}
+		pos += c
+	}
+
+	if len(svCnt) != m || len(svVals) != len(svCnts) {
+		return bad("sample-value sizes disagree: %d parts, %d vals, %d cnts",
+			len(svCnt), len(svVals), len(svCnts))
+	}
+	db := &DB{
+		vecs:       vecs,
+		part:       bitvec.NewEqualPartitioning(d, m),
+		index:      index,
+		sample:     sample,
+		sampleVals: make([][]uint64, m),
+		sampleCnts: make([][]int32, m),
+	}
+	pos = 0
+	for i := 0; i < m; i++ {
+		c := int(svCnt[i])
+		if pos+c > len(svVals) {
+			return bad("sample-value counts overflow their region")
+		}
+		db.sampleVals[i] = svVals[pos : pos+c : pos+c]
+		db.sampleCnts[i] = svCnts[pos : pos+c : pos+c]
+		pos += c
+	}
+	if pos != len(svVals) {
+		return bad("sample-value region has %d trailing values", len(svVals)-pos)
+	}
+	db.initRuntime()
+	return db, nil
+}

@@ -48,9 +48,13 @@ type problemMetrics struct {
 	joinSeconds   *telemetry.Histogram
 	shardSeconds  *telemetry.Histogram
 
-	indexObjects *telemetry.Gauge
-	buildSeconds *telemetry.Gauge
-	shards       *telemetry.Gauge
+	snapshotWriteSeconds *telemetry.Histogram
+	snapshotOpenSeconds  *telemetry.Histogram
+
+	indexObjects  *telemetry.Gauge
+	buildSeconds  *telemetry.Gauge
+	shards        *telemetry.Gauge
+	snapshotBytes *telemetry.Gauge
 }
 
 func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
@@ -74,7 +78,7 @@ func (m *serverMetrics) problem(p engine.Problem) *problemMetrics {
 	pm := &problemMetrics{
 		searches:   m.reg.Counter("pigeonring_searches_total", "Completed searches (single and batch items).", l),
 		errors:     m.reg.Counter("pigeonring_search_errors_total", "Searches and joins failing for non-context reasons.", l),
-		cancelled:  m.reg.Counter("pigeonring_cancelled_total", "Searches and joins abandoned by deadline or disconnect.", l),
+		cancelled:  m.reg.Counter("pigeonring_cancelled_total", "Searches, joins and loads abandoned by deadline or disconnect.", l),
 		limited:    m.reg.Counter("pigeonring_limited_total", "Searches and joins cut short by a result limit.", l),
 		candidates: m.reg.Counter("pigeonring_candidates_total", "Objects reaching verification across all searches.", l),
 		results:    m.reg.Counter("pigeonring_results_total", "Result ids returned across all searches.", l),
@@ -88,9 +92,13 @@ func (m *serverMetrics) problem(p engine.Problem) *problemMetrics {
 		joinSeconds:   m.reg.Histogram("pigeonring_join_seconds", "Per-join engine latency.", lat, l),
 		shardSeconds:  m.reg.Histogram("pigeonring_shard_seconds", "Per-shard fan-out leg latency; the distribution's spread is shard imbalance.", lat, l),
 
-		indexObjects: m.reg.Gauge("pigeonring_index_objects", "Objects in the loaded index.", l),
-		buildSeconds: m.reg.Gauge("pigeonring_index_build_seconds", "Build time of the loaded index.", l),
-		shards:       m.reg.Gauge("pigeonring_index_shards", "Shard count of the loaded index.", l),
+		snapshotWriteSeconds: m.reg.Histogram("pigeonring_snapshot_write_seconds", "One full snapshot-write pass (serialize + fsync + rename).", lat, l),
+		snapshotOpenSeconds:  m.reg.Histogram("pigeonring_snapshot_open_seconds", "One full snapshot-open pass (validate + reconstruct).", lat, l),
+
+		indexObjects:  m.reg.Gauge("pigeonring_index_objects", "Objects in the loaded index.", l),
+		buildSeconds:  m.reg.Gauge("pigeonring_index_build_seconds", "Build time of the loaded index.", l),
+		shards:        m.reg.Gauge("pigeonring_index_shards", "Shard count of the loaded index.", l),
+		snapshotBytes: m.reg.Gauge("pigeonring_index_snapshot_bytes", "Container size of the last snapshot written or loaded.", l),
 	}
 	m.problems[p] = pm
 	return pm
@@ -121,6 +129,8 @@ func endpointLabel(r *http.Request) string {
 		return "search_batch"
 	case "/v1/join":
 		return "join"
+	case "/v1/snapshot":
+		return "snapshot"
 	case "/v1/indexes":
 		return "indexes"
 	case "/v1/stats":

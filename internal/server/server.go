@@ -7,6 +7,8 @@
 // The API is versioned under /v1:
 //
 //	POST /v1/load          {"problem":"hamming","n":5000,"shards":4,...}
+//	POST /v1/load          {"snapshot":"hamming.snap"} reload from a snapshot file
+//	POST /v1/snapshot      {"problem":"hamming","file":"hamming.snap"}
 //	POST /v1/search        {"problem":"hamming","queryId":17,"limit":10,"timeout_ms":50,...}
 //	POST /v1/search/batch  {"problem":"set","queryIds":[1,2,3],...}
 //	POST /v1/join          {"problem":"set","limit":100,"timeout_ms":5000,...}
@@ -20,6 +22,16 @@
 // atomically. Searches are lock-free after entry lookup — engine
 // indexes are immutable — so any number of requests may run
 // concurrently, each fanning out across the index's shards.
+//
+// Persistence: when Config.SnapshotDir is set, POST /v1/snapshot
+// writes a loaded index to a file in that directory (atomically —
+// temp file + rename) and POST /v1/load with {"snapshot": "<file>"}
+// reloads it without re-running index construction. The reload is a
+// zero-downtime pointer swap: the old index keeps serving until the
+// new one is fully open, and in-flight searches hold their own entry
+// pointer, so no request ever observes a half-loaded index. A load
+// whose client disconnects before the swap is discarded (499, like an
+// abandoned search) instead of being installed for nobody.
 //
 // Every search runs under the HTTP request's context: a client that
 // disconnects abandons the search mid-fan-out instead of burning
@@ -55,6 +67,7 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -75,6 +88,7 @@ type Server struct {
 	workers int
 	timeout time.Duration
 	started time.Time
+	snapDir string
 
 	met       *serverMetrics
 	slow      *slowLog
@@ -137,6 +151,13 @@ type Config struct {
 	// SlowQueryWriter receives the slow-query lines; nil selects
 	// os.Stderr. Writes are serialized by the server.
 	SlowQueryWriter io.Writer
+	// SnapshotDir enables index persistence: POST /v1/snapshot writes
+	// container files into this directory and /v1/load accepts
+	// {"snapshot": "<file>"} naming a file inside it. Empty disables
+	// both (the endpoints answer 501). Clients supply plain file names,
+	// never paths — the server refuses separators and "..", so a
+	// request cannot escape the directory.
+	SnapshotDir string
 }
 
 // New creates an empty server with default observability: shorthand
@@ -163,6 +184,7 @@ func NewFromConfig(cfg Config) *Server {
 		workers:   cfg.Workers,
 		timeout:   cfg.SearchTimeout,
 		started:   time.Now(),
+		snapDir:   cfg.SnapshotDir,
 		met:       newServerMetrics(reg),
 		slow:      newSlowLog(cfg.SlowQueryThreshold, slowW),
 		noMetrics: cfg.DisableMetrics,
@@ -179,6 +201,7 @@ func (s *Server) Registry() *telemetry.Registry { return s.met.reg }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/load", s.handleLoad)
+	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("POST /v1/search", s.handleSearch)
 	mux.HandleFunc("POST /v1/search/batch", s.handleSearchBatch)
 	mux.HandleFunc("POST /v1/join", s.handleJoin)
@@ -326,6 +349,13 @@ type LoadRequest struct {
 	// Kappa is the gram length for string indexes (default 2, or 3
 	// when τ ≤ 1).
 	Kappa int `json:"kappa,omitempty"`
+	// Snapshot names a container file inside the server's snapshot
+	// directory to load instead of building: the index (including its
+	// problem, τ and shard layout) comes from the file, so every build
+	// parameter above except Problem must be absent; Problem, when
+	// present, is cross-checked against the snapshot. The swap is
+	// atomic — the previous index serves until the new one is open.
+	Snapshot string `json:"snapshot,omitempty"`
 }
 
 // LoadResponse reports what was built.
@@ -341,6 +371,10 @@ type LoadResponse struct {
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	var req LoadRequest
 	if !decode(w, r, &req) {
+		return
+	}
+	if req.Snapshot != "" {
+		s.handleLoadSnapshot(w, r, &req)
 		return
 	}
 	p, err := engine.ParseProblem(req.Problem)
@@ -491,34 +525,207 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	}
 	e.dataset = req.Dataset
 	e.buildMS = float64(time.Since(start).Nanoseconds()) / 1e6
-
-	shards := 1
-	if sh, ok := e.index.(*engine.Sharded); ok {
-		shards = sh.Shards()
+	if !s.install(w, r, p, e) {
+		return
 	}
-	pm := s.met.problem(p)
-	e.met = pm
-	// One tracer per entry, shared by every request: the closure only
-	// touches histogram atomics, so concurrent callbacks are safe and
-	// the request hot path allocates nothing for tracing.
-	e.hooks = &engine.Hooks{
+	writeJSON(w, http.StatusOK, LoadResponse{
+		Problem: string(p), Dataset: req.Dataset, N: e.index.Len(),
+		Tau: e.index.Tau(), Shards: shardCount(e.index), BuildMS: e.buildMS,
+	})
+}
+
+// shardCount reports how many shards an index fans out over (1 for a
+// plain adapter).
+func shardCount(ix engine.Index) int {
+	if sh, ok := ix.(*engine.Sharded); ok {
+		return sh.Shards()
+	}
+	return 1
+}
+
+// newHooks builds an entry's tracer, shared by every request: the
+// closures only touch histogram atomics, so concurrent callbacks are
+// safe and the request hot path allocates nothing for tracing. The
+// stage callback feeds the snapshot span histograms; search-path
+// stages fall through it unrecorded (the wall-clock counters already
+// cover them).
+func newHooks(pm *problemMetrics) *engine.Hooks {
+	return &engine.Hooks{
 		Shard: func(_ int, d time.Duration, _ engine.Stats) {
 			pm.shardSeconds.Observe(d.Seconds())
 		},
+		Stage: func(st engine.Stage, d time.Duration) {
+			switch st {
+			case engine.StageSnapshotWrite:
+				pm.snapshotWriteSeconds.Observe(d.Seconds())
+			case engine.StageSnapshotOpen:
+				pm.snapshotOpenSeconds.Observe(d.Seconds())
+			}
+		},
 	}
+}
+
+// install publishes a freshly built or opened entry under its problem
+// slot — the atomic pointer swap every load path shares. The previous
+// entry keeps serving until the swap, and requests that already hold
+// it finish on it undisturbed (engine indexes are immutable), so a
+// reload never blocks or fails a search.
+//
+// A client that disconnected while the index was being built or
+// opened gets the same 499 an abandoned search does, and its index is
+// discarded instead of installed: readiness and the indexes_loaded
+// gauge only ever count indexes a client was actually answered for.
+func (s *Server) install(w http.ResponseWriter, r *http.Request, p engine.Problem, e *entry) bool {
+	pm := s.met.problem(p)
+	if err := r.Context().Err(); err != nil {
+		pm.cancelled.Inc()
+		writeJSON(w, statusClientClosedRequest, errBody(r, map[string]string{
+			"error": fmt.Sprintf("load abandoned: %v", err),
+			"code":  "cancelled",
+		}))
+		return false
+	}
+	e.met = pm
+	e.hooks = newHooks(pm)
 	pm.indexObjects.Set(float64(e.index.Len()))
 	pm.buildSeconds.Set(e.buildMS / 1e3)
-	pm.shards.Set(float64(shards))
+	pm.shards.Set(float64(shardCount(e.index)))
 
 	s.mu.Lock()
 	s.entries[p] = e
 	loaded := len(s.entries)
 	s.mu.Unlock()
 	s.met.loaded.Set(float64(loaded))
+	return true
+}
 
+// --- /v1/snapshot ------------------------------------------------------------
+
+// snapshotPath resolves a client-supplied snapshot file name inside
+// the configured directory, answering the error itself: 501 when
+// persistence is disabled, 400 for names that could leave the
+// directory (only plain file names are accepted).
+func (s *Server) snapshotPath(w http.ResponseWriter, r *http.Request, name string) (string, bool) {
+	if s.snapDir == "" {
+		writeError(w, r, http.StatusNotImplemented, "snapshots are disabled (start the server with a snapshot directory)")
+		return "", false
+	}
+	if name == "" || name != filepath.Base(name) || name == "." || name == ".." {
+		writeError(w, r, http.StatusBadRequest, "snapshot must be a plain file name inside the snapshot directory, got %q", name)
+		return "", false
+	}
+	return filepath.Join(s.snapDir, name), true
+}
+
+// SnapshotRequest asks the server to persist one loaded index into
+// its snapshot directory.
+type SnapshotRequest struct {
+	// Problem names the loaded index to persist (required).
+	Problem string `json:"problem"`
+	// File is the container file name inside the snapshot directory
+	// (plain name, no separators); defaults to "<problem>.snap".
+	File string `json:"file,omitempty"`
+}
+
+// SnapshotResponse reports what was written.
+type SnapshotResponse struct {
+	Problem string  `json:"problem"`
+	File    string  `json:"file"`
+	Bytes   int64   `json:"bytes"`
+	WriteMS float64 `json:"writeMs"`
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	var req SnapshotRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	e, p, ok := s.lookup(w, r, req.Problem)
+	if !ok {
+		return
+	}
+	name := req.File
+	if name == "" {
+		name = string(p) + ".snap"
+	}
+	path, ok := s.snapshotPath(w, r, name)
+	if !ok {
+		return
+	}
+	// WriteSnapshotFile is atomic (temp file + rename), so a crash or
+	// concurrent reload never observes a torn container; e.hooks feeds
+	// the write span into the snapshot_write_seconds histogram.
+	start := time.Now()
+	n, err := engine.WriteSnapshotFile(e.index, path, e.hooks)
+	if err != nil {
+		writeError(w, r, http.StatusInternalServerError, "writing snapshot: %v", err)
+		return
+	}
+	e.met.snapshotBytes.Set(float64(n))
+	writeJSON(w, http.StatusOK, SnapshotResponse{
+		Problem: string(p), File: name, Bytes: n,
+		WriteMS: float64(time.Since(start).Nanoseconds()) / 1e6,
+	})
+}
+
+// handleLoadSnapshot serves the {"snapshot": ...} form of /v1/load.
+// The container is opened without holding any lock — the previous
+// index serves throughout — and installed with the same pointer swap
+// a built index gets.
+func (s *Server) handleLoadSnapshot(w http.ResponseWriter, r *http.Request, req *LoadRequest) {
+	if req.Dataset != "" || req.N != 0 || req.Seed != 0 || req.Tau != nil ||
+		req.Shards != 0 || req.M != 0 || req.Kappa != 0 {
+		writeError(w, r, http.StatusBadRequest, "a snapshot load takes no build parameters; drop dataset/n/seed/tau/shards/m/kappa")
+		return
+	}
+	path, ok := s.snapshotPath(w, r, req.Snapshot)
+	if !ok {
+		return
+	}
+	// The open span belongs in the problem's histogram, but the
+	// problem is only known once the container's header is read —
+	// capture the span here and observe it after the install.
+	var openSpan time.Duration
+	hooks := &engine.Hooks{Stage: func(st engine.Stage, d time.Duration) {
+		if st == engine.StageSnapshotOpen {
+			openSpan = d
+		}
+	}}
+	start := time.Now()
+	ix, size, err := engine.OpenSnapshotFile(path, s.workers, hooks)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, os.ErrNotExist) {
+			status = http.StatusNotFound
+		}
+		writeError(w, r, status, "opening snapshot: %v", err)
+		return
+	}
+	p := ix.Problem()
+	if req.Problem != "" {
+		want, err := engine.ParseProblem(req.Problem)
+		if err != nil {
+			writeError(w, r, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if want != p {
+			writeError(w, r, http.StatusBadRequest, "snapshot %q holds a %s index, not %s", req.Snapshot, p, want)
+			return
+		}
+	}
+	e := &entry{
+		index:   ix,
+		dataset: "snapshot:" + req.Snapshot,
+		buildMS: float64(time.Since(start).Nanoseconds()) / 1e6,
+	}
+	if !s.install(w, r, p, e) {
+		return
+	}
+	e.met.snapshotOpenSeconds.Observe(openSpan.Seconds())
+	e.met.snapshotBytes.Set(float64(size))
 	writeJSON(w, http.StatusOK, LoadResponse{
-		Problem: string(p), Dataset: req.Dataset, N: e.index.Len(),
-		Tau: e.index.Tau(), Shards: shards, BuildMS: e.buildMS,
+		Problem: string(p), Dataset: e.dataset, N: ix.Len(),
+		Tau: ix.Tau(), Shards: shardCount(ix), BuildMS: e.buildMS,
 	})
 }
 
@@ -637,14 +844,25 @@ func (e *entry) query(p engine.Problem, req *SearchRequest) (engine.Query, error
 		}
 		switch p {
 		case engine.Hamming:
-			return engine.VectorQuery(e.vecs[id]), nil
+			if e.vecs != nil {
+				return engine.VectorQuery(e.vecs[id]), nil
+			}
 		case engine.Set:
-			return engine.SetQuery(e.sets[id]), nil
+			if e.sets != nil {
+				return engine.SetQuery(e.sets[id]), nil
+			}
 		case engine.String:
-			return engine.StringQuery(e.strs[id]), nil
+			if e.strs != nil {
+				return engine.StringQuery(e.strs[id]), nil
+			}
 		case engine.Graph:
-			return engine.GraphQuery(e.graphs[id]), nil
+			if e.graphs != nil {
+				return engine.GraphQuery(e.graphs[id]), nil
+			}
 		}
+		// Snapshot-loaded entries carry no raw dataset; the index
+		// itself replays the object, same as a join row does.
+		return engine.Object(e.index, id)
 	}
 	switch p {
 	case engine.Hamming:

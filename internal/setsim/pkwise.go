@@ -78,15 +78,22 @@ func NewPKWiseDB(sets []tokenset.Set, cfg Config) (*PKWiseDB, error) {
 			db.postings[tok] = append(db.postings[tok], int32(id))
 		}
 	}
+	db.initRuntime()
+	return db, nil
+}
+
+// initRuntime sets up the scratch pool, shared by NewPKWiseDB and
+// OpenSnapshot.
+func (db *PKWiseDB) initRuntime() {
+	m := db.cfg.M
 	db.scratch.New = func() any {
 		return &pkScratch{
-			counts: make([]uint16, len(db.sets)*(cfg.M-1)),
-			boxes:  make(core.Boxes, cfg.M),
-			cnt:    make([]int, cfg.M),
-			t:      make([]float64, cfg.M),
+			counts: make([]uint16, len(db.sets)*(m-1)),
+			boxes:  make(core.Boxes, m),
+			cnt:    make([]int, m),
+			t:      make([]float64, m),
 		}
 	}
-	return db, nil
 }
 
 // Len returns the number of indexed sets.

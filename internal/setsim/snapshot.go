@@ -1,0 +1,179 @@
+package setsim
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"slices"
+
+	"repro/internal/snapshot"
+	"repro/internal/tokenset"
+)
+
+// SnapshotBackend tags whole-file pkwise snapshots.
+const SnapshotBackend = "setsim"
+
+// WriteSnapshot writes the fully built pkwise index to w as a
+// one-backend snapshot container, returning the bytes written. A DB
+// with a custom Class function cannot be snapshotted: the function is
+// code, not data, and a reload with a different assignment would
+// silently index nothing usefully.
+func (db *PKWiseDB) WriteSnapshot(w io.Writer) (int64, error) {
+	b := snapshot.NewBuilder()
+	if err := db.AppendSnapshot(b, ""); err != nil {
+		return 0, err
+	}
+	return b.WriteTo(w, SnapshotBackend)
+}
+
+// OpenSnapshot loads a PKWiseDB from a snapshot written by
+// WriteSnapshot.
+func OpenSnapshot(r io.ReaderAt) (*PKWiseDB, error) {
+	rd, err := snapshot.Open(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := rd.CheckBackend(SnapshotBackend); err != nil {
+		return nil, err
+	}
+	return OpenSnapshotAt(rd, "")
+}
+
+// AppendSnapshot adds the DB's sections to b under the given name
+// prefix.
+func (db *PKWiseDB) AppendSnapshot(b *snapshot.Builder, prefix string) error {
+	if db.cfg.Class != nil {
+		return fmt.Errorf("setsim: cannot snapshot an index with a custom Class function")
+	}
+	n := len(db.sets)
+	b.AddU64s(prefix+"meta", []uint64{
+		uint64(db.cfg.Measure),
+		uint64(db.cfg.M),
+		uint64(n),
+		math.Float64bits(db.cfg.Tau),
+	})
+
+	lens := make([]int, n)
+	total := 0
+	for i, s := range db.sets {
+		lens[i] = len(s)
+		total += len(s)
+	}
+	toks := make([]int32, 0, total)
+	for _, s := range db.sets {
+		toks = append(toks, s...)
+	}
+	b.AddU64s(prefix+"sets.off", snapshot.Offsets(lens))
+	b.AddI32s(prefix+"sets.toks", toks)
+	b.AddI32s(prefix+"px", db.px)
+
+	keys := make([]int32, 0, len(db.postings))
+	for k := range db.postings {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	postLens := make([]int, len(keys))
+	var ids []int32
+	for i, k := range keys {
+		postLens[i] = len(db.postings[k])
+		ids = append(ids, db.postings[k]...)
+	}
+	b.AddI32s(prefix+"post.keys", keys)
+	b.AddU64s(prefix+"post.off", snapshot.Offsets(postLens))
+	b.AddI32s(prefix+"post.ids", ids)
+	return nil
+}
+
+// OpenSnapshotAt reconstructs a PKWiseDB from the section group under
+// the given prefix of an already-opened container.
+func OpenSnapshotAt(rd *snapshot.Reader, prefix string) (*PKWiseDB, error) {
+	fail := func(err error) (*PKWiseDB, error) {
+		return nil, fmt.Errorf("setsim: snapshot %q: %w", prefix, err)
+	}
+	bad := func(format string, args ...any) (*PKWiseDB, error) {
+		return nil, fmt.Errorf("setsim: snapshot %q: "+format, append([]any{prefix}, args...)...)
+	}
+
+	meta, err := rd.U64s(prefix + "meta")
+	if err != nil {
+		return fail(err)
+	}
+	if len(meta) != 4 {
+		return bad("meta has %d fields, want 4", len(meta))
+	}
+	cfg := Config{
+		Measure: Measure(meta[0]),
+		M:       int(meta[1]),
+		Tau:     math.Float64frombits(meta[3]),
+	}
+	n := int(meta[2])
+	if err := cfg.validate(); err != nil {
+		return fail(err)
+	}
+
+	off, err := rd.U64s(prefix + "sets.off")
+	if err != nil {
+		return fail(err)
+	}
+	toks, err := rd.I32s(prefix + "sets.toks")
+	if err != nil {
+		return fail(err)
+	}
+	if len(off) != n+1 || int(off[n]) != len(toks) {
+		return bad("set offsets disagree: %d offsets for %d sets over %d tokens",
+			len(off), n, len(toks))
+	}
+	sets := make([]tokenset.Set, n)
+	for i := range sets {
+		lo, hi := off[i], off[i+1]
+		if lo > hi || hi > uint64(len(toks)) {
+			return bad("set offsets not monotone at %d", i)
+		}
+		sets[i] = tokenset.Set(toks[lo:hi:hi])
+	}
+	if err := tokenset.Validate(sets); err != nil {
+		return fail(err)
+	}
+
+	px, err := rd.I32s(prefix + "px")
+	if err != nil {
+		return fail(err)
+	}
+	if len(px) != n {
+		return bad("px has %d entries, want %d", len(px), n)
+	}
+	for i, p := range px {
+		if p < 0 || int(p) > len(sets[i]) {
+			return bad("prefix length %d of set %d out of [0,%d]", p, i, len(sets[i]))
+		}
+	}
+
+	keys, err := rd.I32s(prefix + "post.keys")
+	if err != nil {
+		return fail(err)
+	}
+	poff, err := rd.U64s(prefix + "post.off")
+	if err != nil {
+		return fail(err)
+	}
+	ids, err := rd.I32s(prefix + "post.ids")
+	if err != nil {
+		return fail(err)
+	}
+	if len(poff) != len(keys)+1 || int(poff[len(keys)]) != len(ids) {
+		return bad("posting offsets disagree: %d offsets for %d keys over %d ids",
+			len(poff), len(keys), len(ids))
+	}
+	postings := make(map[int32][]int32, len(keys))
+	for i, k := range keys {
+		lo, hi := poff[i], poff[i+1]
+		if lo > hi || hi > uint64(len(ids)) {
+			return bad("posting offsets not monotone at key %d", i)
+		}
+		postings[k] = ids[lo:hi:hi]
+	}
+
+	db := &PKWiseDB{cfg: cfg, sets: sets, px: px, postings: postings}
+	db.initRuntime()
+	return db, nil
+}

@@ -1,0 +1,72 @@
+package setsim
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	sets := genSets(rng, 300, 15, 300)
+	for _, cfg := range []Config{
+		{Measure: Jaccard, Tau: 0.7, M: 5},
+		{Measure: Overlap, Tau: 4, M: 4},
+	} {
+		db, err := NewPKWiseDB(sets, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := db.WriteSnapshot(&buf); err != nil {
+			t.Fatalf("WriteSnapshot: %v", err)
+		}
+		db2, err := OpenSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("OpenSnapshot: %v", err)
+		}
+		c2 := db2.Config()
+		if db2.Len() != db.Len() || c2.Measure != cfg.Measure || c2.Tau != cfg.Tau || c2.M != cfg.M {
+			t.Fatalf("got (%d,%+v), want (%d,%+v)", db2.Len(), c2, db.Len(), cfg)
+		}
+		for id := range sets {
+			if db2.PrefixLen(id) != db.PrefixLen(id) {
+				t.Fatalf("prefix length of %d differs", id)
+			}
+		}
+		for qi := 0; qi < 20; qi++ {
+			q := sets[rng.Intn(len(sets))]
+			for _, l := range []int{1, 2, 3} {
+				got, gst, err := db2.Search(q, l)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, wst, err := db.Search(q, l)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) || !reflect.DeepEqual(gst, wst) {
+					t.Fatalf("cfg=%+v q%d l=%d: (%v,%+v) want (%v,%+v)",
+						cfg, qi, l, got, gst, want, wst)
+				}
+			}
+		}
+	}
+}
+
+func TestSnapshotRejectsCustomClass(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sets := genSets(rng, 50, 10, 100)
+	db, err := NewPKWiseDB(sets, Config{
+		Measure: Overlap, Tau: 3, M: 4,
+		Class: func(tok int32) int { return int(tok)%3 + 1 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := db.WriteSnapshot(&buf); err == nil {
+		t.Fatal("WriteSnapshot accepted a custom Class function")
+	}
+}

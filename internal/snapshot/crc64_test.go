@@ -1,0 +1,92 @@
+package snapshot
+
+import (
+	"hash/crc64"
+	"math/rand"
+	"testing"
+)
+
+// TestChecksumMatchesStdlib pins the slicing-by-16 implementation to
+// hash/crc64 over the ECMA polynomial: every length crossing the
+// 16-byte stride boundaries, with random content, must agree exactly —
+// the on-disk format depends on it.
+func TestChecksumMatchesStdlib(t *testing.T) {
+	ref := crc64.MakeTable(crc64.ECMA)
+	rng := rand.New(rand.NewSource(7))
+	for length := 0; length < 200; length++ {
+		data := make([]byte, length)
+		rng.Read(data)
+		if got, want := checksum(data), crc64.Checksum(data, ref); got != want {
+			t.Fatalf("len %d: checksum 0x%016x, stdlib 0x%016x", length, got, want)
+		}
+	}
+	// Lengths straddling the multi-stream threshold and its segment
+	// remainders exercise the split + GF(2) combine path.
+	for _, length := range []int{parallelMin - 1, parallelMin, parallelMin + 1,
+		parallelMin + 29, 4*parallelMin + 31, 1<<20 + 13} {
+		data := make([]byte, length)
+		rng.Read(data)
+		if got, want := checksum(data), crc64.Checksum(data, ref); got != want {
+			t.Fatalf("len %d: checksum 0x%016x, stdlib 0x%016x", length, got, want)
+		}
+	}
+	if checksum(nil) != crc64.Checksum(nil, ref) {
+		t.Fatal("empty input disagrees with stdlib")
+	}
+}
+
+// TestFusedKernelsMatch pins the fused decode+CRC kernels to the plain
+// checksum and the scalar codecs on both sides of the multi-stream
+// threshold.
+func TestFusedKernelsMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, words := range []int{0, 1, 3, 255, 256, 257, 1024, 4099} {
+		data := make([]byte, 8*words)
+		rng.Read(data)
+		v, crc := checksumU64s(data)
+		want, err := BytesU64(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if crc != checksum(data) {
+			t.Fatalf("%d words: fused u64 CRC 0x%016x, want 0x%016x", words, crc, checksum(data))
+		}
+		if len(v) != len(want) {
+			t.Fatalf("%d words: fused decoded %d values", words, len(v))
+		}
+		for i := range v {
+			if v[i] != want[i] {
+				t.Fatalf("%d words: value %d is 0x%x, want 0x%x", words, i, v[i], want[i])
+			}
+		}
+	}
+	for _, n := range []int{0, 1, 3, 511, 512, 513, 2048, 8197} {
+		data := make([]byte, 4*n)
+		rng.Read(data)
+		v, crc := checksumI32s(data)
+		want, err := BytesI32(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if crc != checksum(data) {
+			t.Fatalf("%d ints: fused i32 CRC 0x%016x, want 0x%016x", n, crc, checksum(data))
+		}
+		if len(v) != len(want) {
+			t.Fatalf("%d ints: fused decoded %d values", n, len(v))
+		}
+		for i := range v {
+			if v[i] != want[i] {
+				t.Fatalf("%d ints: value %d is %d, want %d", n, i, v[i], want[i])
+			}
+		}
+	}
+}
+
+func BenchmarkChecksum(b *testing.B) {
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(data)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		checksum(data)
+	}
+}

@@ -169,10 +169,16 @@ func NewDB(strs []string, dict *GramDict, tau int) (*DB, error) {
 			db.preIdx[g.ID] = append(db.preIdx[g.ID], prePosting{int32(id), g.Pos})
 		}
 	}
+	db.initRuntime()
+	return db, nil
+}
+
+// initRuntime sets up the scratch pool, shared by NewDB and
+// OpenSnapshot.
+func (db *DB) initRuntime() {
 	db.scratch.New = func() any {
 		return &strScratch{processed: make([]uint8, len(db.strs))}
 	}
-	return db, nil
 }
 
 // Len returns the number of indexed strings.

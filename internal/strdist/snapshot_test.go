@@ -1,0 +1,69 @@
+package strdist
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	strs := make([]string, 300)
+	for i := range strs {
+		// A spread of lengths so the corpus holds short strings (nil
+		// pivotal signature) alongside full-signature ones.
+		strs[i] = randString(rng, 30, 4)
+	}
+	const tau = 2
+	dict, err := BuildGramDict(strs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewDB(strs, dict, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if _, err := db.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	db2, err := OpenSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("OpenSnapshot: %v", err)
+	}
+	if db2.Len() != db.Len() || db2.Tau() != db.Tau() {
+		t.Fatalf("geometry differs: (%d,%d) want (%d,%d)", db2.Len(), db2.Tau(), db.Len(), db.Tau())
+	}
+	for id := range strs {
+		if db2.String(id) != db.String(id) {
+			t.Fatalf("string %d differs", id)
+		}
+		if (db.pivotal[id] == nil) != (db2.pivotal[id] == nil) {
+			t.Fatalf("string %d: pivotal nil-ness differs after round trip", id)
+		}
+	}
+
+	opts := []Options{PivotalOptions(), RingOptions(2), RingOptions(3),
+		{Ring: true, ChainLength: 3, SkipVerify: true}}
+	for qi := 0; qi < 30; qi++ {
+		q := strs[rng.Intn(len(strs))]
+		if qi%3 == 0 {
+			q = randString(rng, 25, 4) // out-of-corpus queries too
+		}
+		for _, opt := range opts {
+			got, gst, err := db2.Search(q, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wst, err := db.Search(q, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) || !reflect.DeepEqual(gst, wst) {
+				t.Fatalf("q%d opt=%+v: (%v,%+v) want (%v,%+v)", qi, opt, got, gst, want, wst)
+			}
+		}
+	}
+}
