@@ -7,7 +7,7 @@
 //
 //	pigeonring -problem hamming|set|string|graph [-mode search|join]
 //	           [-n 5000] [-tau τ] [-l chain] [-queries 10] [-shards 1]
-//	           [-limit 0] [-save file] [-from-snapshot file]
+//	           [-limit 0] [-k 0] [-save file] [-from-snapshot file]
 //
 // -save persists the built index as a snapshot container after the
 // run's build step; -from-snapshot skips building entirely and opens
@@ -22,9 +22,15 @@
 // self-joins the whole database — the all-pairs workload behind dedup
 // and entity resolution — once with the baseline filter and once with
 // the ring filter, and reports pairs, candidates and the speedup.
+// -k switches search mode into top-k: instead of everything within τ,
+// each sampled query asks for its k nearest objects via the engine's
+// adaptive τ-ladder, and the run prints the ranked (id, distance)
+// results plus how many ladder rungs each query climbed. -k is
+// mutually exclusive with -limit and join mode.
+//
 // -shards fans searches (and join row blocks) out across an
-// engine.Sharded index; -limit stops each search after its first k
-// ids, or the join after its first k pairs. Ctrl-C cancels the run
+// engine.Sharded index; -limit stops each search after its first n
+// ids, or the join after its first n pairs. Ctrl-C cancels the run
 // mid-query: everything runs under a signal-bound context, so an
 // interrupted sweep stops at the next row or shard boundary instead
 // of finishing the whole batch.
@@ -55,7 +61,8 @@ func main() {
 	l := flag.Int("l", 0, "chain length (defaults to the paper's tuning)")
 	queries := flag.Int("queries", 10, "number of sampled queries")
 	shards := flag.Int("shards", 1, "engine shards per index (-1 = auto by corpus size)")
-	limit := flag.Int("limit", 0, "stop each search after the first k ids (0 = all)")
+	limit := flag.Int("limit", 0, "stop each search after the first n ids (0 = all)")
+	topK := flag.Int("k", 0, "top-k mode: return the k nearest objects per query instead of everything within τ (0 = off)")
 	seed := flag.Int64("seed", 42, "dataset seed")
 	save := flag.String("save", "", "write the built index to this snapshot file")
 	fromSnapshot := flag.String("from-snapshot", "", "open the index from this snapshot file instead of building")
@@ -73,6 +80,11 @@ func main() {
 
 	if *mode != "search" && *mode != "join" {
 		log.Printf("unknown mode %q (want search or join)", *mode)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *topK < 0 || (*topK > 0 && (*limit > 0 || *mode == "join")) {
+		log.Print("-k must be positive and is mutually exclusive with -limit and -mode join")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -107,6 +119,10 @@ func main() {
 		runJoin(ctx, ix, p, baseName, *l, *limit, *shards)
 		return
 	}
+	if *topK > 0 {
+		runTopK(ctx, ix, queriesQ, p, *topK, *l, *queries, *shards, *seed)
+		return
+	}
 	fmt.Printf("%s search: n=%d τ=%g shards=%d l=%d (0 = paper default)\n",
 		p, ix.Len(), ix.Tau(), *shards, *l)
 
@@ -134,6 +150,45 @@ func main() {
 		t.results += len(res)
 	}
 	t.report(baseName, len(sampled))
+}
+
+// runTopK runs the sampled queries in top-k mode and prints each
+// query's ranked (id, distance) results with the τ-ladder depth it
+// took to find them.
+func runTopK(ctx context.Context, ix engine.Index, queriesQ []engine.Query, p engine.Problem, k, l, queries int, shards int, seed int64) {
+	ts, ok := ix.(engine.TopKSearcher)
+	if !ok {
+		log.Fatalf("%T does not support top-k search", ix)
+	}
+	fmt.Printf("%s top-%d search: n=%d τ=%g shards=%d l=%d (0 = paper default)\n",
+		p, k, ix.Len(), ix.Tau(), shards, l)
+	opt := engine.Options{TopK: k, ChainLength: l}
+	totalRungs, totalMS := 0, 0.0
+	sampled := dataset.SampleQueries(ix.Len(), queries, seed)
+	for _, qi := range sampled {
+		q, err := queryAt(ix, queriesQ, qi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, st, err := ts.SearchTopK(ctx, q, opt)
+		if stopOnCancel(err) {
+			return
+		}
+		totalRungs += st.Rungs
+		totalMS += float64(st.WallNS) / 1e6
+		fmt.Printf("query %d: %d results in %d rungs\n", qi, len(res), st.Rungs)
+		for i, r := range res {
+			if i == 10 {
+				fmt.Printf("  … %d more\n", len(res)-i)
+				break
+			}
+			fmt.Printf("  id %d  distance %g\n", r.ID, r.Distance)
+		}
+	}
+	if n := len(sampled); n > 0 {
+		fmt.Printf("\navg: %.1f rungs/query, %.3fms/query\n",
+			float64(totalRungs)/float64(n), totalMS/float64(n))
+	}
 }
 
 // runJoin self-joins the database twice — pigeonhole baseline, then

@@ -8,7 +8,7 @@
 //
 //	pigeonringd [-addr :8080] [-workers 0] [-search-timeout 0]
 //	            [-metrics=true] [-slow-query-ms 0] [-pprof-addr ""]
-//	            [-snapshot-dir ""]
+//	            [-snapshot-dir ""] [-max-k 1024]
 //
 // Quickstart:
 //
@@ -23,6 +23,8 @@
 //	    -d '{"problem":"hamming","queryId":17,"l":6,"timings":true}'
 //	curl -s -X POST localhost:8080/v1/search \
 //	    -d '{"problem":"hamming","queryId":17,"limit":10,"timeout_ms":50}'
+//	curl -s -X POST localhost:8080/v1/search \
+//	    -d '{"problem":"hamming","queryId":17,"k":10}'
 //	curl -s -X POST localhost:8080/v1/search/batch \
 //	    -d '{"problem":"hamming","queryIds":[1,2,3]}'
 //	curl -s -X POST localhost:8080/v1/join \
@@ -35,9 +37,11 @@
 // disconnecting clients abandon their work, "timeout_ms" adds a
 // per-request deadline (504 + {"code":"deadline_exceeded"} when it
 // fires), and -search-timeout caps every search and join server-side.
-// "limit" stops a search after the first k ids, or a join after its
-// first k pairs. /v1/stats counts cancelled and limited queries plus
-// join and pair totals per problem.
+// "limit" stops a search after the first n ids, or a join after its
+// first n pairs. "k" asks for the k nearest objects instead — ranked
+// [{id, distance}] results from the engine's adaptive τ-ladder —
+// bounded server-side by -max-k. /v1/stats counts cancelled and
+// limited queries plus join and pair totals per problem.
 //
 // Observability: GET /metrics serves the Prometheus text exposition
 // (-metrics=false unmounts it), -slow-query-ms writes searches and
@@ -82,6 +86,7 @@ func main() {
 	slowQueryMS := flag.Int("slow-query-ms", 0, "log searches and joins slower than this to stderr as JSON lines (0 = off)")
 	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof, e.g. localhost:6060 (empty = off)")
 	snapshotDir := flag.String("snapshot-dir", "", "directory for POST /v1/snapshot containers and snapshot reloads (empty = persistence off)")
+	maxK := flag.Int("max-k", 0, "cap on the \"k\" of top-k search requests (0 = default of 1024)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -116,6 +121,7 @@ func main() {
 		DisableMetrics:     !*metrics,
 		SlowQueryThreshold: time.Duration(*slowQueryMS) * time.Millisecond,
 		SnapshotDir:        *snapshotDir,
+		MaxK:               *maxK,
 	}).Handler()
 
 	srv := &http.Server{

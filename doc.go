@@ -20,10 +20,14 @@
 // the Joiner capability — Join(ctx, opt) and the streaming JoinSeq,
 // the all-pairs self-join behind dedup and entity resolution, answered
 // by row-block decomposition over the same pool with sharded output
-// pair-identical to unsharded. server exposes that layer over
-// HTTP/JSON (request-scoped contexts, limit/timeout_ms, cancelled and
-// limited counters, /v1/join with join and pair totals);
-// cmd/pigeonringd is the daemon serving it.
+// pair-identical to unsharded — and the TopKSearcher capability:
+// SearchTopK(ctx, q, opt) with Options.TopK answers "the k nearest"
+// instead of "everything within τ" by climbing an expanding τ ladder
+// until k results verify, returning ranked (id, distance) Results,
+// byte-identical sharded versus plain. server exposes that layer over
+// HTTP/JSON (request-scoped contexts, limit/timeout_ms, "k" top-k
+// mode, cancelled and limited counters, /v1/join with join and pair
+// totals); cmd/pigeonringd is the daemon serving it.
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
 // substitutions, and EXPERIMENTS.md for paper-versus-measured results.

@@ -58,6 +58,11 @@ func toIDs(ids []int) []int64 {
 // re-runs candidate generation alone via filterOnly to observe the
 // filter/verify split the backends interleave.
 func timed(ctx context.Context, opt Options, filterOnly func() error, fn func() ([]int64, Stats, error)) ([]int64, Stats, error) {
+	if opt.TopK > 0 {
+		// Silently ignoring k would hand back an unranked, unbounded id
+		// list where the caller asked for the k nearest.
+		return nil, Stats{}, errTopKViaSearch
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, Stats{}, err
 	}
@@ -138,22 +143,67 @@ func (ix *hammingIndex) SearchSeq(ctx context.Context, q Query, opt Options) ite
 	return collectSeq(ctx, ix, q, opt)
 }
 
+// resolveTau validates a per-query threshold override against the
+// usual bounds (non-negative integer, at most the dimension — the
+// threshold allocation is O(τ·m), so an absurd τ would pin a worker),
+// falling back to def when unset.
+func (ix *hammingIndex) resolveTau(requested *float64, def int) (int, error) {
+	if requested == nil {
+		return def, nil
+	}
+	if *requested != math.Trunc(*requested) || *requested < 0 {
+		return 0, fmt.Errorf("engine: hamming threshold must be a non-negative integer, got τ=%v", *requested)
+	}
+	if *requested > float64(ix.db.Dim()) {
+		return 0, fmt.Errorf("engine: hamming threshold τ=%v exceeds the vector dimension %d", *requested, ix.db.Dim())
+	}
+	return int(*requested), nil
+}
+
+// SearchTopK returns the Options.TopK nearest vectors by Hamming
+// distance. Every rung is a full GPH/Ring search at the rung's τ —
+// the index is threshold-independent — up to a ceiling of the vector
+// dimension, or Options.Tau when set (results then stay within that
+// radius). The index's default τ deliberately does not cap the
+// ladder: a top-k query asks for the k nearest, not the k nearest
+// within the threshold-search default.
+func (ix *hammingIndex) SearchTopK(ctx context.Context, q Query, opt Options) ([]Result, Stats, error) {
+	if err := checkKind(q, Hamming); err != nil {
+		return nil, Stats{}, err
+	}
+	if err := validateTopK(opt); err != nil {
+		return nil, Stats{}, err
+	}
+	ceil, err := ix.resolveTau(opt.Tau, ix.db.Dim())
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	hopt := hamming.RingOptions(chain(opt.ChainLength, 6))
+	return runLadder(ctx, opt, topkLadder{
+		bounds: intLadder(ceil),
+		run: func(bound float64, h *resultHeap, st *Stats) error {
+			ids, dists, bst, err := ix.db.SearchDist(q.vec, int(bound), hopt)
+			if err != nil {
+				return err
+			}
+			st.Candidates += bst.Candidates
+			st.Probes += bst.Probes
+			st.BoxChecks += bst.BoxChecks
+			for i, id := range ids {
+				h.push(int64(id), float64(dists[i]))
+			}
+			return nil
+		},
+	})
+}
+
 func (ix *hammingIndex) Search(ctx context.Context, q Query, opt Options) ([]int64, Stats, error) {
 	if err := checkKind(q, Hamming); err != nil {
 		return nil, Stats{}, err
 	}
-	tau := ix.tau
-	if opt.Tau != nil {
-		if *opt.Tau != math.Trunc(*opt.Tau) || *opt.Tau < 0 {
-			return nil, Stats{}, fmt.Errorf("engine: hamming threshold must be a non-negative integer, got τ=%v", *opt.Tau)
-		}
-		// Threshold allocation is O(τ·m), so an absurd τ would pin a
-		// worker; distances never exceed the dimension, so any τ above
-		// it is meaningless anyway.
-		if *opt.Tau > float64(ix.db.Dim()) {
-			return nil, Stats{}, fmt.Errorf("engine: hamming threshold τ=%v exceeds the vector dimension %d", *opt.Tau, ix.db.Dim())
-		}
-		tau = int(*opt.Tau)
+	tau, err := ix.resolveTau(opt.Tau, ix.tau)
+	if err != nil {
+		return nil, Stats{}, err
 	}
 	// The paper finds l = 6 best for Hamming search (§8.2).
 	hopt := hamming.RingOptions(chain(opt.ChainLength, 6))
@@ -200,6 +250,46 @@ func (ix *setIndex) object(i int) Query { return SetQuery(ix.db.Set(i)) }
 
 func (ix *setIndex) SearchSeq(ctx context.Context, q Query, opt Options) iter.Seq2[int64, error] {
 	return collectSeq(ctx, ix, q, opt)
+}
+
+// SearchTopK returns the Options.TopK most similar sets as distances:
+// 1−J(x,q) under the Jaccard measure, −|x∩q| under Overlap, so
+// "nearest" is always "smallest". The ladder is a single rung at the
+// built τ — the pkwise index cannot see below its similarity
+// threshold, and verification (one exact overlap count) costs the
+// same at any threshold, so there is nothing for lower rungs to save.
+func (ix *setIndex) SearchTopK(ctx context.Context, q Query, opt Options) ([]Result, Stats, error) {
+	if err := checkKind(q, Set); err != nil {
+		return nil, Stats{}, err
+	}
+	if err := validateTopK(opt); err != nil {
+		return nil, Stats{}, err
+	}
+	if err := fixedTau(Set, opt.Tau, ix.Tau()); err != nil {
+		return nil, Stats{}, err
+	}
+	l := chain(opt.ChainLength, 2)
+	jaccard := ix.db.Config().Measure == setsim.Jaccard
+	return runLadder(ctx, opt, topkLadder{
+		bounds: []float64{ix.Tau()},
+		run: func(_ float64, h *resultHeap, st *Stats) error {
+			ids, sims, bst, err := ix.db.SearchSim(q.set, l)
+			if err != nil {
+				return err
+			}
+			st.Candidates += bst.Candidates
+			st.Probes += bst.Probes
+			st.BoxChecks += bst.BoxChecks
+			for i, id := range ids {
+				d := -sims[i]
+				if jaccard {
+					d = 1 - sims[i]
+				}
+				h.push(int64(id), d)
+			}
+			return nil
+		},
+	})
 }
 
 func (ix *setIndex) Search(ctx context.Context, q Query, opt Options) ([]int64, Stats, error) {
@@ -263,6 +353,46 @@ func (ix *stringIndex) SearchSeq(ctx context.Context, q Query, opt Options) iter
 	return collectSeq(ctx, ix, q, opt)
 }
 
+// SearchTopK returns the Options.TopK nearest strings by edit
+// distance within the index's built τ (a Pivotal index cannot see
+// further). Every rung filters at the built τ and tightens only the
+// verification threshold (strdist.Options.VerifyTau), so early rungs
+// pay the full filter but a much cheaper banded verification.
+func (ix *stringIndex) SearchTopK(ctx context.Context, q Query, opt Options) ([]Result, Stats, error) {
+	if err := checkKind(q, String); err != nil {
+		return nil, Stats{}, err
+	}
+	if err := validateTopK(opt); err != nil {
+		return nil, Stats{}, err
+	}
+	if err := fixedTau(String, opt.Tau, ix.Tau()); err != nil {
+		return nil, Stats{}, err
+	}
+	l := chain(opt.ChainLength, min(3, ix.db.Tau()+1))
+	sopt := strdist.RingOptions(l)
+	if l == 1 {
+		sopt = strdist.PivotalOptions()
+	}
+	return runLadder(ctx, opt, topkLadder{
+		bounds: intLadder(ix.db.Tau()),
+		run: func(bound float64, h *resultHeap, st *Stats) error {
+			ropt := sopt
+			ropt.VerifyTau = int(bound)
+			ids, dists, bst, err := ix.db.SearchDist(q.str, ropt)
+			if err != nil {
+				return err
+			}
+			st.Candidates += bst.Cand2 + bst.Fallback
+			st.Probes += bst.Probes
+			st.BoxChecks += bst.BoxChecks
+			for i, id := range ids {
+				h.push(int64(id), float64(dists[i]))
+			}
+			return nil
+		},
+	})
+}
+
 func (ix *stringIndex) Search(ctx context.Context, q Query, opt Options) ([]int64, Stats, error) {
 	if err := checkKind(q, String); err != nil {
 		return nil, Stats{}, err
@@ -320,6 +450,47 @@ func (ix *graphIndex) SearchSeq(ctx context.Context, q Query, opt Options) iter.
 	return collectSeq(ctx, ix, q, opt)
 }
 
+// SearchTopK returns the Options.TopK nearest graphs by GED within the
+// index's built τ (a Pars index cannot see further). Every rung
+// filters at the built τ and tightens only the verification budget
+// (graph.Options.VerifyTau) — GED verification dominates graph search
+// cost and early-abandons far sooner at a small budget, so the cheap
+// low rungs usually answer the query without ever paying a full-τ
+// verification pass.
+func (ix *graphIndex) SearchTopK(ctx context.Context, q Query, opt Options) ([]Result, Stats, error) {
+	if err := checkKind(q, Graph); err != nil {
+		return nil, Stats{}, err
+	}
+	if err := validateTopK(opt); err != nil {
+		return nil, Stats{}, err
+	}
+	if err := fixedTau(Graph, opt.Tau, ix.Tau()); err != nil {
+		return nil, Stats{}, err
+	}
+	l := chain(opt.ChainLength, max(1, ix.db.Tau()-1))
+	gopt := graph.RingOptions(l)
+	if l == 1 {
+		gopt = graph.ParsOptions()
+	}
+	return runLadder(ctx, opt, topkLadder{
+		bounds: intLadder(ix.db.Tau()),
+		run: func(bound float64, h *resultHeap, st *Stats) error {
+			ropt := gopt
+			ropt.VerifyTau = int(bound)
+			ids, dists, bst, err := ix.db.SearchDist(q.g, ropt)
+			if err != nil {
+				return err
+			}
+			st.Candidates += bst.Candidates
+			st.BoxChecks += bst.BoxChecks
+			for i, id := range ids {
+				h.push(int64(id), float64(dists[i]))
+			}
+			return nil
+		},
+	})
+}
+
 func (ix *graphIndex) Search(ctx context.Context, q Query, opt Options) ([]int64, Stats, error) {
 	if err := checkKind(q, Graph); err != nil {
 		return nil, Stats{}, err
@@ -341,11 +512,14 @@ func (ix *graphIndex) Search(ctx context.Context, q Query, opt Options) ([]int64
 		return err
 	}
 	return timed(ctx, opt, filterOnly, func() ([]int64, Stats, error) {
-		ids, st, err := ix.db.Search(q.g, gopt)
+		// SearchIDs64 widens inside the backend's one detach copy; the
+		// former Search-then-toIDs epilogue was the second of the two
+		// allocations a graph search paid.
+		ids, st, err := ix.db.SearchIDs64(q.g, gopt)
 		if err != nil {
 			return nil, Stats{}, err
 		}
-		return toIDs(ids), Stats{
+		return ids, Stats{
 			Candidates: st.Candidates,
 			Results:    st.Results,
 			BoxChecks:  st.BoxChecks,

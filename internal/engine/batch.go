@@ -2,13 +2,17 @@ package engine
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/parallel"
 )
 
-// BatchResult holds the outcome of one query of a batch.
+// BatchResult holds the outcome of one query of a batch. Threshold
+// searches fill IDs; top-k searches (Options.TopK > 0) fill TopK
+// instead, ordered by (Distance, ID) ascending.
 type BatchResult struct {
 	IDs   []int64
+	TopK  []Result
 	Stats Stats
 	Err   error
 }
@@ -27,12 +31,32 @@ type BatchResult struct {
 // slot), and every query that never ran gets ctx's error. With an
 // unfailed ctx the results are id-identical to calling Search per
 // query.
+//
+// When opt.TopK > 0 the batch runs top-k searches instead: idx must
+// implement TopKSearcher (every index this package builds does) and
+// each result lands in BatchResult.TopK.
 func SearchBatch(ctx context.Context, idx Index, queries []Query, opt Options, workers int) []BatchResult {
 	out := make([]BatchResult, len(queries))
 	ran := make([]bool, len(queries))
+	var ts TopKSearcher
+	if opt.TopK > 0 {
+		var ok bool
+		if ts, ok = idx.(TopKSearcher); !ok {
+			err := fmt.Errorf("engine: %T does not support top-k search", idx)
+			for i := range out {
+				out[i] = BatchResult{Err: err}
+			}
+			return out
+		}
+	}
 	parallel.ForEachCtx(ctx, len(queries), workers, func(jobCtx context.Context, i int) error {
-		ids, st, err := idx.Search(jobCtx, queries[i], opt)
-		out[i] = BatchResult{IDs: ids, Stats: st, Err: err}
+		if ts != nil {
+			res, st, err := ts.SearchTopK(jobCtx, queries[i], opt)
+			out[i] = BatchResult{TopK: res, Stats: st, Err: err}
+		} else {
+			ids, st, err := idx.Search(jobCtx, queries[i], opt)
+			out[i] = BatchResult{IDs: ids, Stats: st, Err: err}
+		}
 		ran[i] = true
 		return nil
 	})

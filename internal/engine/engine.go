@@ -148,6 +148,15 @@ type Options struct {
 	// ids; Stats.Limited reports whether any results were cut off.
 	// ≤ 0 means unlimited.
 	Limit int
+	// TopK, when > 0, asks for the k nearest objects instead of
+	// everything within τ; it is answered by SearchTopK (TopKSearcher),
+	// which runs the ring filter at an expanding τ ladder and returns
+	// Result{ID, Distance} pairs ordered by (Distance, ID) ascending.
+	// Search and SearchSeq reject a TopK option, and TopK is mutually
+	// exclusive with Limit, SkipVerify and Timings (validateTopK). On a
+	// Hamming index Tau caps the ladder: results stay within that
+	// radius; the fixed-τ backends always cap at their built τ.
+	TopK int
 	// SkipVerify stops after candidate generation; Stats are filled
 	// but no results are returned.
 	SkipVerify bool
@@ -162,6 +171,12 @@ type Options struct {
 	// per-shard fan-out legs. The nil default costs one pointer check;
 	// see the Hooks type for the callback contract.
 	Hooks *Hooks
+
+	// topkCut and topkSlot carry a sharded top-k fan-out's shared
+	// abandonment state into the per-shard ladders. Set only by
+	// Sharded.SearchTopK, never by callers.
+	topkCut  *topkCutoff
+	topkSlot int
 }
 
 // Index is the uniform search interface every adapter and the sharded

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"iter"
+	"slices"
 	"sync"
 	"time"
 
@@ -115,6 +116,9 @@ func (s *Sharded) Search(ctx context.Context, q Query, opt Options) ([]int64, St
 	if err := checkKind(q, s.problem); err != nil {
 		return nil, Stats{}, err
 	}
+	if opt.TopK > 0 {
+		return nil, Stats{}, errTopKViaSearch
+	}
 	start := time.Now()
 	n := len(s.shards)
 	fan := s.getFan()
@@ -224,6 +228,87 @@ func (s *Sharded) Search(ctx context.Context, q Query, opt Options) ([]int64, St
 	return out, agg, nil
 }
 
+// SearchTopK fans a top-k search out to every shard and merges the
+// per-shard heaps into the global k best, ordered by (Distance, ID)
+// ascending — byte-identical to the unsharded answer: any object of
+// the global top k is among its own shard's k best, so the union of
+// the shard results contains the global top k, and the (Distance, ID)
+// order is id-layout-independent. Shards share a topkCutoff so a
+// shard abandons its remaining ladder rungs as soon as the k global
+// best provably lie within bounds already answered; Stats.Rungs sums
+// the rungs every shard actually climbed.
+func (s *Sharded) SearchTopK(ctx context.Context, q Query, opt Options) ([]Result, Stats, error) {
+	if err := checkKind(q, s.problem); err != nil {
+		return nil, Stats{}, err
+	}
+	if err := validateTopK(opt); err != nil {
+		return nil, Stats{}, err
+	}
+	start := time.Now()
+	n := len(s.shards)
+	// As in Search, the composite owns the query-level spans and the
+	// per-shard searches run with hooks stripped — except the Rung
+	// callback, which stays per shard: the adaptive ladder behavior is
+	// exactly what the telemetry wants to see.
+	hooks := opt.Hooks
+	opt.Hooks = nil
+	if hooks.wantRung() {
+		opt.Hooks = &Hooks{Rung: hooks.Rung}
+	}
+	traceShards := hooks.wantShard()
+	opt.topkCut = newTopkCutoff(opt.TopK, n)
+
+	results := make([][]Result, n)
+	perShard := make([]Stats, n)
+	err := parallel.ForEachCtx(ctx, n, s.workers, func(jobCtx context.Context, i int) error {
+		ts, ok := s.shards[i].(TopKSearcher)
+		if !ok {
+			return fmt.Errorf("shard %d: %T does not support top-k search", i, s.shards[i])
+		}
+		sopt := opt
+		sopt.topkSlot = i
+		var shardStart time.Time
+		if traceShards {
+			shardStart = time.Now()
+		}
+		res, st, err := ts.SearchTopK(jobCtx, q, sopt)
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		if traceShards {
+			hooks.Shard(i, time.Since(shardStart), st)
+		}
+		for j := range res {
+			res[j].ID += s.offsets[i]
+		}
+		results[i], perShard[i] = res, st
+		return nil
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+
+	var agg Stats
+	total := 0
+	for i := range perShard {
+		agg.merge(perShard[i])
+		total += len(results[i])
+	}
+	out := make([]Result, 0, total)
+	for _, res := range results {
+		out = append(out, res...)
+	}
+	slices.SortFunc(out, compareResult)
+	if len(out) > opt.TopK {
+		out = out[:opt.TopK]
+	}
+	agg.Results = len(out)
+	agg.WallNS = time.Since(start).Nanoseconds()
+	agg.PerShard = perShard
+	hooks.stage(StageSearch, time.Duration(agg.WallNS))
+	return out, agg, nil
+}
+
 // SearchSeq streams q's results in ascending id order. Shards run
 // concurrently, but shard i's ids are yielded only after shards 0..i-1
 // have been fully yielded, preserving global order. Breaking out of
@@ -235,6 +320,10 @@ func (s *Sharded) SearchSeq(ctx context.Context, q Query, opt Options) iter.Seq2
 	return func(yield func(int64, error) bool) {
 		if err := checkKind(q, s.problem); err != nil {
 			yield(0, err)
+			return
+		}
+		if opt.TopK > 0 {
+			yield(0, errTopKViaSearch)
 			return
 		}
 		seqCtx, cancel := context.WithCancel(ctx)

@@ -45,6 +45,10 @@ type Stats struct {
 	// JoinBlocks is the number of contiguous row blocks a join's
 	// fan-out decomposed the database into; 0 for searches.
 	JoinBlocks int `json:"joinBlocks,omitempty"`
+	// Rungs is the number of τ-ladder rungs a top-k search climbed
+	// (summed across shards on a sharded index); 0 for threshold
+	// searches.
+	Rungs int `json:"rungs,omitempty"`
 	// PerShard holds the per-shard breakdown when the index is
 	// sharded; nil for a plain adapter.
 	PerShard []Stats `json:"perShard,omitempty"`
@@ -61,4 +65,5 @@ func (s *Stats) merge(o Stats) {
 	s.FilterNS += o.FilterNS
 	s.VerifyNS += o.VerifyNS
 	s.TotalNS += o.TotalNS
+	s.Rungs += o.Rungs
 }

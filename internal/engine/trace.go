@@ -62,6 +62,11 @@ type Hooks struct {
 	// block ordinal, its row count, duration and aggregate Stats.
 	// Concurrent across blocks.
 	Block func(block, rows int, d time.Duration, st Stats)
+	// Rung fires after each completed rung of a top-k τ-ladder with
+	// the 1-based rung ordinal, the rung's threshold bound and the
+	// number of candidates the rung's filter pass admitted. On a
+	// sharded index every shard reports its own rungs, concurrently.
+	Rung func(rung int, tau float64, candidates int)
 }
 
 // The emit helpers keep call sites to one line and centralize the
@@ -73,6 +78,14 @@ func (h *Hooks) stage(s Stage, d time.Duration) {
 	}
 }
 
+func (h *Hooks) rung(r int, tau float64, candidates int) {
+	if h != nil && h.Rung != nil {
+		h.Rung(r, tau, candidates)
+	}
+}
+
 func (h *Hooks) wantShard() bool { return h != nil && h.Shard != nil }
+
+func (h *Hooks) wantRung() bool { return h != nil && h.Rung != nil }
 
 func (h *Hooks) wantBlock() bool { return h != nil && h.Block != nil }

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	"repro/internal/pairs"
@@ -25,6 +26,15 @@ type Options struct {
 	// counted but not verified and no results are returned (the
 	// "Cand." series of the paper's time plots).
 	SkipVerify bool
+	// VerifyTau, when in [1, τ), tightens verification only: the result
+	// set becomes exactly the graphs with ged(x, q) ≤ VerifyTau while
+	// the partition/ring filters keep answering the index's built τ
+	// (their candidate supersets stay valid for any smaller threshold).
+	// The engine's top-k ladder uses this to run cheap low-threshold
+	// rungs — GED verification early-abandons far sooner at a small
+	// budget — against a fixed-τ index. 0 (or any value ≥ τ) verifies
+	// at τ as usual.
+	VerifyTau int
 }
 
 // ParsOptions returns the configuration of the Pars baseline.
@@ -107,8 +117,17 @@ type DB struct {
 type searchScratch struct {
 	cache   *boxCache
 	results []int
+	// dists holds the verified GED of each entry of results, populated
+	// only on the SearchDist path.
+	dists   []int
 	ks      *kernelScratch
 	qLabels LabelVector
+}
+
+func (db *DB) putScratch(s *searchScratch) {
+	s.results = s.results[:0]
+	s.dists = s.dists[:0]
+	db.scratch.Put(s)
 }
 
 // NewDB partitions every graph with BFSPartitioner.
@@ -225,8 +244,47 @@ func (c *boxCache) get(i, budget int, part, q *Graph, st *Stats, ks *kernelScrat
 // resolved by a deletion-neighbourhood probe with exactly the budget
 // the chain has left, ⌊l'·τ/m − consumed⌋.
 func (db *DB) Search(q *Graph, opt Options) ([]int, Stats, error) {
+	s, st := db.search(q, opt, false)
+	out := pairs.SortedIDs(s.results)
+	db.putScratch(s)
+	st.Results = len(out)
+	return out, st, nil
+}
+
+// SearchIDs64 is Search with the result ids widened to the engine's
+// int64 id space inside the single detach copy; the engine adapter's
+// former sort-then-widen epilogue paid a second allocation per search.
+func (db *DB) SearchIDs64(q *Graph, opt Options) ([]int64, Stats, error) {
+	s, st := db.search(q, opt, false)
+	out := pairs.SortedIDs64(s.results)
+	db.putScratch(s)
+	st.Results = len(out)
+	return out, st, nil
+}
+
+// SearchDist is Search additionally reporting each result's exact GED,
+// aligned index-for-index with the returned ids. The pairs come back
+// in unspecified order — the engine's top-k planner reorders by
+// distance anyway, so the id sort is skipped. With SkipVerify set no
+// results (and so no distances) are produced.
+func (db *DB) SearchDist(q *Graph, opt Options) ([]int, []int, Stats, error) {
+	s, st := db.search(q, opt, true)
+	ids := slices.Clone(s.results)
+	dists := slices.Clone(s.dists)
+	db.putScratch(s)
+	st.Results = len(ids)
+	return ids, dists, st, nil
+}
+
+func (db *DB) search(q *Graph, opt Options, wantDist bool) (*searchScratch, Stats) {
 	var st Stats
 	tau := db.tau
+	// vtau is the verification threshold: the filters stay at the built
+	// τ, verification answers the tighter bound when one is requested.
+	vtau := tau
+	if opt.VerifyTau > 0 && opt.VerifyTau < tau {
+		vtau = opt.VerifyTau
+	}
 	m := tau + 1
 	l := opt.ChainLength
 	if !opt.Ring {
@@ -240,15 +298,12 @@ func (db *DB) Search(q *Graph, opt Options) ([]int, Stats, error) {
 	}
 
 	s := db.scratch.Get().(*searchScratch)
-	defer func() {
-		s.results = s.results[:0]
-		db.scratch.Put(s)
-	}()
 	labelsInto(q, &s.qLabels)
 	qLabels := s.qLabels
 	qEdges := q.EdgeCount()
 	cache := s.cache
 	results := s.results
+	dists := s.dists
 	for id, g := range db.graphs {
 		if opt.LabelPrefilter &&
 			LabelLowerBound(db.labels[id], qLabels, g.N(), q.N(), db.ecount[id], qEdges) > tau {
@@ -274,7 +329,10 @@ func (db *DB) Search(q *Graph, opt Options) ([]int, Stats, error) {
 				}
 				v := cache.get(j, budget, parts[j], q, &st, s.ks)
 				sum += v
-				if float64(sum)*float64(m) > float64(lp)*float64(tau) {
+				// quota(lp) = lp·τ/m: boxes and thresholds are integers,
+				// so sum·m ≤ lp·τ compares exactly without the float
+				// round-trip the generic quota form paid per box.
+				if sum*m > lp*tau {
 					candidate = false
 					break
 				}
@@ -284,14 +342,18 @@ func (db *DB) Search(q *Graph, opt Options) ([]int, Stats, error) {
 			continue
 		}
 		st.Candidates++
-		if !opt.SkipVerify && s.ks.gedWithin(g, q, tau) >= 0 {
-			results = append(results, id)
+		if !opt.SkipVerify {
+			if d := s.ks.gedWithin(g, q, vtau); d >= 0 {
+				results = append(results, id)
+				if wantDist {
+					dists = append(dists, d)
+				}
+			}
 		}
 	}
 	s.results = results
-	out := pairs.SortedIDs(results)
-	st.Results = len(out)
-	return out, st, nil
+	s.dists = dists
+	return s, st
 }
 
 // SearchLinear verifies every graph directly; it is the ground truth

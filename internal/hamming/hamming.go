@@ -144,6 +144,9 @@ type searchScratch struct {
 	hists   [][]int32
 	histBuf [][]int32
 	results []int
+	// dists holds the verified Hamming distance of each entry of
+	// results, populated only on the SearchDist path.
+	dists []int
 }
 
 func (db *DB) getScratch() *searchScratch {
@@ -156,6 +159,7 @@ func (db *DB) putScratch(s *searchScratch) {
 	}
 	s.marked = s.marked[:0]
 	s.results = s.results[:0]
+	s.dists = s.dists[:0]
 	db.scratch.Put(s)
 }
 
@@ -379,12 +383,26 @@ func binom(n, k int) int {
 // Search returns the ids of all vectors within Hamming distance tau of
 // q, in ascending id order, along with search statistics.
 func (db *DB) Search(q bitvec.Vector, tau int, opt Options) ([]int, Stats, error) {
+	ids, _, st, err := db.search(q, tau, opt, false)
+	return ids, st, err
+}
+
+// SearchDist is Search additionally reporting each result's exact
+// Hamming distance, aligned index-for-index with the returned ids.
+// The pairs come back in unspecified order — the engine's top-k
+// planner reorders by distance anyway, so the id sort is skipped.
+// With SkipVerify set no results (and so no distances) are produced.
+func (db *DB) SearchDist(q bitvec.Vector, tau int, opt Options) ([]int, []int, Stats, error) {
+	return db.search(q, tau, opt, true)
+}
+
+func (db *DB) search(q bitvec.Vector, tau int, opt Options, wantDist bool) ([]int, []int, Stats, error) {
 	var st Stats
 	if q.Dim() != db.Dim() {
-		return nil, st, fmt.Errorf("hamming: query dimension %d, want %d", q.Dim(), db.Dim())
+		return nil, nil, st, fmt.Errorf("hamming: query dimension %d, want %d", q.Dim(), db.Dim())
 	}
 	if tau < 0 {
-		return nil, st, fmt.Errorf("hamming: negative threshold %d", tau)
+		return nil, nil, st, fmt.Errorf("hamming: negative threshold %d", tau)
 	}
 	m := db.part.M()
 	l := opt.ChainLength
@@ -428,6 +446,7 @@ func (db *DB) Search(q bitvec.Vector, tau int, opt Options) ([]int, Stats, error
 
 	accepted := s.accepted
 	results := s.results
+	dists := s.dists
 
 	for i := 0; i < m; i++ {
 		if t[i] < 0 {
@@ -471,16 +490,26 @@ func (db *DB) Search(q bitvec.Vector, tau int, opt Options) ([]int, Stats, error
 				accepted[id] = true
 				s.marked = append(s.marked, id)
 				st.Candidates++
-				if !opt.SkipVerify && bitvec.HammingAbandon(db.vecs[id], q, tau) >= 0 {
-					results = append(results, int(id))
+				if !opt.SkipVerify {
+					if d := bitvec.HammingAbandon(db.vecs[id], q, tau); d >= 0 {
+						results = append(results, int(id))
+						if wantDist {
+							dists = append(dists, d)
+						}
+					}
 				}
 			}
 		})
 	}
 	s.results = results
+	s.dists = dists
+	if wantDist {
+		st.Results = len(results)
+		return slices.Clone(results), slices.Clone(dists), st, nil
+	}
 	out := pairs.SortedIDs(results)
 	st.Results = len(out)
-	return out, st, nil
+	return out, nil, st, nil
 }
 
 // SearchLinear scans the whole database; it is the ground truth used by

@@ -46,3 +46,18 @@ func SortedIDs[T ID](ids []T) []T {
 	slices.Sort(out)
 	return out
 }
+
+// SortedIDs64 is SortedIDs with the ids widened from a backend's int
+// positions to the engine's int64 id space inside the one detach copy
+// — a SortedIDs-then-convert epilogue would allocate twice.
+func SortedIDs64(ids []int) []int64 {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]int64, len(ids))
+	for i, id := range ids {
+		out[i] = int64(id)
+	}
+	slices.Sort(out)
+	return out
+}

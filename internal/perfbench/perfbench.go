@@ -93,6 +93,10 @@ type Series struct {
 	CandidatesPerOp float64 `json:"candidatesPerOp"`
 	// ResultsPerOp is the average result (or pair) count per operation.
 	ResultsPerOp float64 `json:"resultsPerOp"`
+	// RungsPerOp is the average τ-ladder depth of a top-k search
+	// (summed across shards; topk workload only). Deterministic like
+	// the candidate counters.
+	RungsPerOp float64 `json:"rungsPerOp,omitempty"`
 	// QueriesPerSec is single-query throughput for search and batch
 	// workloads (a batch op counts each of its queries).
 	QueriesPerSec float64 `json:"queriesPerSec,omitempty"`

@@ -23,6 +23,7 @@ import (
 //	search/<p>/pigeonhole     single-query search, chain length 1
 //	search/<p>/pigeonring     single-query search, recommended chain
 //	batch/<p>/pigeonring      one SearchBatch over all sampled queries
+//	topk/<p>/pigeonring       top-10 adaptive-τ search per query
 //	join/<p>/pigeonhole       whole-corpus self-join, chain length 1
 //	join/<p>/pigeonring       whole-corpus self-join, recommended chain
 //	sharded-search/<p>/pigeonring   search on the sharded engine
@@ -189,6 +190,7 @@ func Run(cfg Config) (*Report, error) {
 			{"search", filterHole, env.plain, false},
 			{"search", filterRing, env.plain, false},
 			{"batch", filterRing, env.plain, false},
+			{"topk", filterRing, env.plain, false},
 			{"join", filterHole, env.joinPlain, false},
 			{"join", filterRing, env.joinPlain, false},
 			{"search", filterRing, env.sharded, true},
@@ -202,6 +204,8 @@ func Run(cfg Config) (*Report, error) {
 				s, err = runSearch(ctx, cfg, env, sp.ix, sp.filter, sp.sharded)
 			case "batch":
 				s, err = runBatch(ctx, cfg, env, sp.ix, sp.filter, sp.sharded)
+			case "topk":
+				s, err = runTopK(ctx, cfg, env, sp.ix, sp.filter, sp.sharded)
 			case "join":
 				s, err = runJoin(ctx, cfg, env, sp.ix, sp.filter, sp.sharded)
 			}
@@ -317,6 +321,56 @@ func runSearch(ctx context.Context, cfg Config, env problemEnv, ix engine.Index,
 	}
 	s.FilterNsPerOp = float64(filterNS) / float64(len(env.queries))
 	s.VerifyNsPerOp = float64(verifyNS) / float64(len(env.queries))
+	return s, nil
+}
+
+// runTopK measures the adaptive-τ top-k planner: the 10 nearest
+// objects per sampled query on the ring configuration. The hamming
+// ladder is capped at τ=64 (a quarter of the dimension) so the series
+// measures the adaptive climb rather than a whole-space scan; the
+// fixed-τ backends cap at their built τ by construction. There is no
+// Timings pass — the ladder already interleaves multiple filter
+// passes, and TopK rejects the option.
+func runTopK(ctx context.Context, cfg Config, env problemEnv, ix engine.Index, filter string, sharded bool) (Series, error) {
+	s := baseSeries("topk", env, filter, sharded)
+	s.N = env.n
+	s.Queries = len(env.queries)
+	ts, ok := ix.(engine.TopKSearcher)
+	if !ok {
+		return s, fmt.Errorf("%T does not implement engine.TopKSearcher", ix)
+	}
+	opt := engine.Options{ChainLength: chainOf(filter), TopK: 10}
+	if env.problem == "hamming" {
+		opt.Tau = engine.Tau(64)
+	}
+
+	var cand, res, rungs int
+	for _, q := range env.queries {
+		out, st, err := ts.SearchTopK(ctx, q, opt)
+		if err != nil {
+			return s, err
+		}
+		cand += st.Candidates
+		res += len(out)
+		rungs += st.Rungs
+	}
+	nq := float64(len(env.queries))
+	s.CandidatesPerOp = float64(cand) / nq
+	s.ResultsPerOp = float64(res) / nq
+	s.RungsPerOp = float64(rungs) / nq
+
+	ops := cfg.reps() * 5 * len(env.queries)
+	lat := latencyHist()
+	ns, allocs, bytes, err := measure(ops, lat, func(op int) error {
+		_, _, err := ts.SearchTopK(ctx, env.queries[op%len(env.queries)], opt)
+		return err
+	})
+	if err != nil {
+		return s, err
+	}
+	s.Ops, s.NsPerOp, s.AllocsPerOp, s.BytesPerOp = ops, ns, allocs, bytes
+	s.QueriesPerSec = 1e9 / ns
+	fillQuantiles(&s, lat)
 	return s, nil
 }
 

@@ -44,9 +44,12 @@ type problemMetrics struct {
 	verifyNS   *telemetry.Counter
 	wallNS     *telemetry.Counter
 
+	topkRungs *telemetry.Counter
+
 	searchSeconds *telemetry.Histogram
 	joinSeconds   *telemetry.Histogram
 	shardSeconds  *telemetry.Histogram
+	topkRungsPer  *telemetry.Histogram
 
 	snapshotWriteSeconds *telemetry.Histogram
 	snapshotOpenSeconds  *telemetry.Histogram
@@ -88,7 +91,10 @@ func (m *serverMetrics) problem(p engine.Problem) *problemMetrics {
 		verifyNS:   m.reg.Counter("pigeonring_verify_ns_total", "Verification nanoseconds (Timings requests only).", l),
 		wallNS:     m.reg.Counter("pigeonring_wall_ns_total", "End-to-end engine wall-clock nanoseconds.", l),
 
+		topkRungs: m.reg.Counter("pigeonring_topk_rungs_total", "τ-ladder rungs climbed across all top-k searches (per shard on a sharded index).", l),
+
 		searchSeconds: m.reg.Histogram("pigeonring_search_seconds", "Per-search engine latency.", lat, l),
+		topkRungsPer:  m.reg.Histogram("pigeonring_topk_rungs_per_query", "τ-ladder depth of one top-k search, summed across shards.", []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}, l),
 		joinSeconds:   m.reg.Histogram("pigeonring_join_seconds", "Per-join engine latency.", lat, l),
 		shardSeconds:  m.reg.Histogram("pigeonring_shard_seconds", "Per-shard fan-out leg latency; the distribution's spread is shard imbalance.", lat, l),
 

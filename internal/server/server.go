@@ -39,7 +39,13 @@
 // deadline on top (bounded by the server's default when one is
 // configured); an expired deadline answers 504 with a machine-readable
 // {"code":"deadline_exceeded"} payload. "limit" stops a search after
-// the first k ascending ids. /v1/join self-joins the loaded dataset —
+// the first n ascending ids; "k" switches /v1/search and
+// /v1/search/batch into top-k mode — the k nearest objects as
+// [{id, distance}] pairs ordered by (distance, id) ascending, answered
+// by the engine's adaptive τ-ladder (TopKResponse). "k" is mutually
+// exclusive with "limit", "skipVerify" and "timings"; conflicts are
+// answered 400 with a machine-readable {"code":"invalid_argument"}
+// payload. /v1/join self-joins the loaded dataset —
 // every pair of distinct objects within the threshold, ascending by
 // (i, j) — under the same context, timeout and limit machinery.
 // /v1/stats surfaces cancelled and limited query counts plus join and
@@ -89,6 +95,7 @@ type Server struct {
 	timeout time.Duration
 	started time.Time
 	snapDir string
+	maxK    int
 
 	met       *serverMetrics
 	slow      *slowLog
@@ -158,7 +165,14 @@ type Config struct {
 	// never paths — the server refuses separators and "..", so a
 	// request cannot escape the directory.
 	SnapshotDir string
+	// MaxK caps the "k" of top-k searches (the per-search result heap
+	// is k entries, so k is an allocation size like the load bounds
+	// above); ≤ 0 selects the default of 1024.
+	MaxK int
 }
+
+// defaultMaxK bounds top-k requests when Config.MaxK is unset.
+const defaultMaxK = 1024
 
 // New creates an empty server with default observability: shorthand
 // for NewFromConfig(Config{Workers: workers, SearchTimeout: timeout}).
@@ -180,11 +194,16 @@ func NewFromConfig(cfg Config) *Server {
 	if slowW == nil {
 		slowW = os.Stderr
 	}
+	maxK := cfg.MaxK
+	if maxK <= 0 {
+		maxK = defaultMaxK
+	}
 	return &Server{
 		workers:   cfg.Workers,
 		timeout:   cfg.SearchTimeout,
 		started:   time.Now(),
 		snapDir:   cfg.SnapshotDir,
+		maxK:      maxK,
 		met:       newServerMetrics(reg),
 		slow:      newSlowLog(cfg.SlowQueryThreshold, slowW),
 		noMetrics: cfg.DisableMetrics,
@@ -554,6 +573,9 @@ func newHooks(pm *problemMetrics) *engine.Hooks {
 		Shard: func(_ int, d time.Duration, _ engine.Stats) {
 			pm.shardSeconds.Observe(d.Seconds())
 		},
+		Rung: func(_ int, _ float64, _ int) {
+			pm.topkRungs.Inc()
+		},
 		Stage: func(st engine.Stage, d time.Duration) {
 			switch st {
 			case engine.StageSnapshotWrite:
@@ -800,6 +822,13 @@ type SearchRequest struct {
 	// ascending id order; 0 means unlimited. A sharded index abandons
 	// shards that cannot contribute to the first Limit ids.
 	Limit int `json:"limit,omitempty"`
+	// K switches the request into top-k mode: instead of every id
+	// within τ, the response carries the K nearest objects as
+	// [{id, distance}] pairs ordered by (distance, id) ascending. K is
+	// mutually exclusive with limit, skipVerify and timings (400 with
+	// code "invalid_argument"); on a hamming index tau caps the search
+	// radius, on the other problems the built τ is the ceiling.
+	K int `json:"k,omitempty"`
 	// TimeoutMS puts a deadline on the search, in milliseconds; an
 	// exceeded deadline answers 504 with code "deadline_exceeded".
 	// 0 falls back to the server's default timeout (if configured);
@@ -817,6 +846,16 @@ type SearchResponse struct {
 	Problem string       `json:"problem"`
 	IDs     []int64      `json:"ids"`
 	Stats   engine.Stats `json:"stats"`
+}
+
+// TopKResponse carries a top-k search's results, ordered by
+// (distance, id) ascending. It is a separate shape from SearchResponse
+// on purpose: a top-k answer has no "ids" field, so a client cannot
+// mistake ranked results for a threshold id list.
+type TopKResponse struct {
+	Problem string          `json:"problem"`
+	Results []engine.Result `json:"results"`
+	Stats   engine.Stats    `json:"stats"`
 }
 
 // query resolves the request's query payload against the entry.
@@ -907,6 +946,38 @@ func (req *SearchRequest) options() engine.Options {
 	}
 }
 
+// writeInvalidArgument answers a request whose fields are out of range
+// or contradict each other with a machine-readable
+// {"code":"invalid_argument"} payload.
+func writeInvalidArgument(w http.ResponseWriter, r *http.Request, format string, args ...any) {
+	writeJSON(w, http.StatusBadRequest, errBody(r, map[string]string{
+		"error": fmt.Sprintf(format, args...),
+		"code":  "invalid_argument",
+	}))
+}
+
+// validateK checks the top-k fields of a search or batch request,
+// answering the error itself. k = 0 (threshold mode) always passes.
+func (s *Server) validateK(w http.ResponseWriter, r *http.Request, k, limit int, skipVerify, timings bool) bool {
+	switch {
+	case k < 0:
+		writeInvalidArgument(w, r, "k must be non-negative, got %d", k)
+	case k == 0:
+		return true
+	case k > s.maxK:
+		writeInvalidArgument(w, r, "k=%d exceeds the limit of %d", k, s.maxK)
+	case limit > 0:
+		writeInvalidArgument(w, r, "k and limit are mutually exclusive — a top-k search is already bounded by k")
+	case skipVerify:
+		writeInvalidArgument(w, r, "k requires verification (distances come from the verifier); drop skipVerify")
+	case timings:
+		writeInvalidArgument(w, r, "timings is not supported with k")
+	default:
+		return true
+	}
+	return false
+}
+
 // record folds one search outcome into the problem's registry slice.
 func (e *entry) record(st engine.Stats) {
 	e.met.searches.Inc()
@@ -919,6 +990,14 @@ func (e *entry) record(st engine.Stats) {
 	e.met.verifyNS.Add(st.VerifyNS)
 	e.met.wallNS.Add(st.WallNS)
 	e.met.searchSeconds.Observe(float64(st.WallNS) / 1e9)
+}
+
+// recordTopK folds one top-k search outcome in, additionally observing
+// how deep its τ ladder climbed. (The per-rung counter is fed by the
+// entry's Rung hook as the ladder runs, not here.)
+func (e *entry) recordTopK(st engine.Stats) {
+	e.record(st)
+	e.met.topkRungsPer.Observe(float64(st.Rungs))
 }
 
 // statusClientClosedRequest is nginx's non-standard code for "the
@@ -974,6 +1053,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, "limit and timeout_ms must be non-negative")
 		return
 	}
+	if !s.validateK(w, r, req.K, req.Limit, req.SkipVerify, req.Timings) {
+		return
+	}
 	e, p, ok := s.lookup(w, r, req.Problem)
 	if !ok {
 		return
@@ -987,6 +1069,28 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	opt := req.options()
 	opt.Hooks = e.hooks
+	if req.K > 0 {
+		ts, ok := e.index.(engine.TopKSearcher)
+		if !ok {
+			// Unreachable for indexes this server builds; kept so a
+			// future foreign index degrades into a clear answer.
+			writeError(w, r, http.StatusNotImplemented, "%s index does not support top-k search", p)
+			return
+		}
+		opt.TopK = req.K
+		res, st, err := ts.SearchTopK(ctx, q, opt)
+		if err != nil {
+			writeSearchError(w, r, e, err)
+			return
+		}
+		e.recordTopK(st)
+		s.slow.maybe(requestID(r.Context()), "search", p, e.tau(req.Tau), req.L, 0, st)
+		if res == nil {
+			res = []engine.Result{}
+		}
+		writeJSON(w, http.StatusOK, TopKResponse{Problem: string(p), Results: res, Stats: st})
+		return
+	}
 	ids, st, err := e.index.Search(ctx, q, opt)
 	if err != nil {
 		writeSearchError(w, r, e, err)
@@ -1009,20 +1113,28 @@ type BatchRequest struct {
 	Problem  string `json:"problem"`
 	QueryIDs []int  `json:"queryIds"`
 	// Workers caps cross-query parallelism; ≤ 0 selects GOMAXPROCS.
-	Workers    int      `json:"workers,omitempty"`
-	Tau        *float64 `json:"tau,omitempty"`
-	L          int      `json:"l,omitempty"`
-	Limit      int      `json:"limit,omitempty"`
-	TimeoutMS  int      `json:"timeout_ms,omitempty"`
-	SkipVerify bool     `json:"skipVerify,omitempty"`
-	Timings    bool     `json:"timings,omitempty"`
+	Workers int      `json:"workers,omitempty"`
+	Tau     *float64 `json:"tau,omitempty"`
+	L       int      `json:"l,omitempty"`
+	Limit   int      `json:"limit,omitempty"`
+	// K switches every query of the batch into top-k mode; per-item
+	// results land in BatchItem.Results instead of IDs. Same
+	// constraints as SearchRequest.K.
+	K          int  `json:"k,omitempty"`
+	TimeoutMS  int  `json:"timeout_ms,omitempty"`
+	SkipVerify bool `json:"skipVerify,omitempty"`
+	Timings    bool `json:"timings,omitempty"`
 }
 
-// BatchItem is one query's outcome within a batch.
+// BatchItem is one query's outcome within a batch. Threshold batches
+// fill IDs; top-k batches (K > 0) fill Results — ordered by
+// (distance, id) ascending, omitted when no object lies within the
+// ceiling — and leave IDs empty.
 type BatchItem struct {
-	IDs   []int64      `json:"ids"`
-	Stats engine.Stats `json:"stats"`
-	Error string       `json:"error,omitempty"`
+	IDs     []int64         `json:"ids"`
+	Results []engine.Result `json:"results,omitempty"`
+	Stats   engine.Stats    `json:"stats"`
+	Error   string          `json:"error,omitempty"`
 }
 
 // BatchResponse carries per-query outcomes, positionally aligned with
@@ -1039,6 +1151,9 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Limit < 0 || req.TimeoutMS < 0 {
 		writeError(w, r, http.StatusBadRequest, "limit and timeout_ms must be non-negative")
+		return
+	}
+	if !s.validateK(w, r, req.K, req.Limit, req.SkipVerify, req.Timings) {
 		return
 	}
 	e, p, ok := s.lookup(w, r, req.Problem)
@@ -1065,19 +1180,23 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.searchContext(r, req.TimeoutMS)
 	defer cancel()
-	opt := engine.Options{Tau: req.Tau, ChainLength: req.L, Limit: req.Limit, SkipVerify: req.SkipVerify, Timings: req.Timings, Hooks: e.hooks}
+	opt := engine.Options{Tau: req.Tau, ChainLength: req.L, Limit: req.Limit, TopK: req.K, SkipVerify: req.SkipVerify, Timings: req.Timings, Hooks: e.hooks}
 	batch := engine.SearchBatch(ctx, e.index, queries, opt, req.Workers)
 	resp := BatchResponse{Problem: string(p), Results: make([]BatchItem, len(batch))}
 	rid := requestID(r.Context())
 	deadlined := false
 	for i, br := range batch {
-		item := BatchItem{IDs: br.IDs, Stats: br.Stats}
+		item := BatchItem{IDs: br.IDs, Results: br.TopK, Stats: br.Stats}
 		if item.IDs == nil {
 			item.IDs = []int64{}
 		}
 		switch {
 		case br.Err == nil:
-			e.record(br.Stats)
+			if req.K > 0 {
+				e.recordTopK(br.Stats)
+			} else {
+				e.record(br.Stats)
+			}
 			s.slow.maybe(rid, "search_batch", p, e.tau(req.Tau), req.L, req.Limit, br.Stats)
 		case errors.Is(br.Err, context.Canceled) || errors.Is(br.Err, context.DeadlineExceeded):
 			item.Error = br.Err.Error()

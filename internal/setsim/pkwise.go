@@ -2,6 +2,7 @@ package setsim
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	"repro/internal/core"
@@ -35,6 +36,9 @@ type pkScratch struct {
 	cnt     []int
 	t       []float64
 	results []int
+	// sims holds the exact similarity of each entry of results,
+	// populated only on the SearchSim path.
+	sims []float64
 }
 
 func (db *PKWiseDB) getScratch() *pkScratch {
@@ -49,6 +53,7 @@ func (db *PKWiseDB) putScratch(s *pkScratch) {
 	}
 	s.touched = s.touched[:0]
 	s.results = s.results[:0]
+	s.sims = s.sims[:0]
 	db.scratch.Put(s)
 }
 
@@ -184,21 +189,31 @@ func (db *PKWiseDB) plan(q tokenset.Set, s *pkScratch) (queryPlan, bool) {
 // class-overlap boxes, with the suffix box replaced by its cheap upper
 // bound as described in the package comment.
 func (db *PKWiseDB) Search(q tokenset.Set, chainLength int) ([]int, Stats, error) {
-	return db.search(q, chainLength, true)
+	ids, _, st, err := db.search(q, chainLength, true, false)
+	return ids, st, err
+}
+
+// SearchSim is Search additionally reporting each result's exact
+// similarity (the Jaccard value, or the overlap count under the
+// Overlap measure), aligned index-for-index with the returned ids.
+// The pairs come back in unspecified order — the engine's top-k
+// planner reorders by similarity anyway, so the id sort is skipped.
+func (db *PKWiseDB) SearchSim(q tokenset.Set, chainLength int) ([]int, []float64, Stats, error) {
+	return db.search(q, chainLength, true, true)
 }
 
 // CountCandidates runs candidate generation only — identical filtering
 // to Search but without verification (the "Cand." series of the
 // paper's time plots).
 func (db *PKWiseDB) CountCandidates(q tokenset.Set, chainLength int) (Stats, error) {
-	_, st, err := db.search(q, chainLength, false)
+	_, _, st, err := db.search(q, chainLength, false, false)
 	return st, err
 }
 
-func (db *PKWiseDB) search(q tokenset.Set, chainLength int, verify bool) ([]int, Stats, error) {
+func (db *PKWiseDB) search(q tokenset.Set, chainLength int, verify, wantSim bool) ([]int, []float64, Stats, error) {
 	var st Stats
 	if !q.Valid() {
-		return nil, st, fmt.Errorf("setsim: query set is not sorted/deduplicated")
+		return nil, nil, st, fmt.Errorf("setsim: query set is not sorted/deduplicated")
 	}
 	cfg := db.cfg
 	m := cfg.M
@@ -213,7 +228,7 @@ func (db *PKWiseDB) search(q tokenset.Set, chainLength int, verify bool) ([]int,
 	defer db.putScratch(s)
 	plan, ok := db.plan(q, s)
 	if !ok {
-		return nil, st, nil
+		return nil, nil, st, nil
 	}
 	// The Filter copies the thresholds out of plan.t at construction.
 	filter := core.NewIntegerReduction(plan.t, l, core.GE)
@@ -251,15 +266,30 @@ func (db *PKWiseDB) search(q tokenset.Set, chainLength int, verify bool) ([]int,
 		base := int(id) * (m - 1)
 		if db.decide(plan, id, counts[base:base+m-1], boxes, bv, filter, l, &st) && verify {
 			x := db.sets[id]
-			if tokenset.OverlapAtLeast(x, q, cfg.pairThreshold(len(x), len(q))) {
+			if wantSim {
+				// The exact overlap replaces the early-exit threshold
+				// test: the similarity value is needed for ranking.
+				if o := tokenset.Overlap(x, q); o >= cfg.pairThreshold(len(x), len(q)) {
+					results = append(results, int(id))
+					if cfg.Measure == Jaccard {
+						s.sims = append(s.sims, float64(o)/float64(len(x)+len(q)-o))
+					} else {
+						s.sims = append(s.sims, float64(o))
+					}
+				}
+			} else if tokenset.OverlapAtLeast(x, q, cfg.pairThreshold(len(x), len(q))) {
 				results = append(results, int(id))
 			}
 		}
 	}
 	s.results = results
+	if wantSim {
+		st.Results = len(results)
+		return slices.Clone(results), slices.Clone(s.sims), st, nil
+	}
 	out := pairs.SortedIDs(results)
 	st.Results = len(out)
-	return out, st, nil
+	return out, nil, st, nil
 }
 
 // decide applies the per-object filtering decision shared by the

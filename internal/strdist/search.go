@@ -2,6 +2,7 @@ package strdist
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	"repro/internal/pairs"
@@ -19,6 +20,13 @@ type Options struct {
 	// verification runs and no results are returned (the "Cand." series
 	// of the paper's time plots).
 	SkipVerify bool
+	// VerifyTau, when in [1, τ), tightens verification only: the result
+	// set becomes exactly the strings with ed(x, q) ≤ VerifyTau while
+	// the filters keep answering the index's built τ (their candidate
+	// supersets stay valid for any smaller threshold). The engine's
+	// top-k ladder uses this to run cheap low-threshold rungs against a
+	// fixed-τ index. 0 (or any value ≥ τ) verifies at τ as usual.
+	VerifyTau int
 }
 
 // PivotalOptions returns the configuration of the Pivotal baseline.
@@ -98,6 +106,9 @@ type strScratch struct {
 	qPosMasks []uint64
 	boxVal    []int
 	results   []int
+	// dists holds the verified edit distance of each entry of results,
+	// populated only on the SearchDist path.
+	dists []int
 }
 
 func (db *DB) getScratch() *strScratch {
@@ -112,6 +123,7 @@ func (db *DB) putScratch(s *strScratch) {
 	s.qMasks = s.qMasks[:0]
 	s.qPosMasks = s.qPosMasks[:0]
 	s.results = s.results[:0]
+	s.dists = s.dists[:0]
 	db.scratch.Put(s)
 }
 
@@ -190,10 +202,33 @@ func (db *DB) Tau() int { return db.tau }
 // String returns the indexed string with the given id.
 func (db *DB) String(id int) string { return db.strs[id] }
 
-// Search returns the ids of all strings with ed(x, q) ≤ τ, ascending.
+// Search returns the ids of all strings with ed(x, q) ≤ τ, ascending
+// (≤ Options.VerifyTau when that is set and tighter).
 func (db *DB) Search(q string, opt Options) ([]int, Stats, error) {
+	ids, _, st, err := db.search(q, opt, false)
+	return ids, st, err
+}
+
+// SearchDist is Search additionally reporting each result's exact edit
+// distance, aligned index-for-index with the returned ids. The pairs
+// come back in unspecified order — the engine's top-k planner reorders
+// by distance anyway, so the id sort is skipped. With SkipVerify set
+// no results (and so no distances) are produced.
+func (db *DB) SearchDist(q string, opt Options) ([]int, []int, Stats, error) {
+	return db.search(q, opt, true)
+}
+
+func (db *DB) search(q string, opt Options, wantDist bool) ([]int, []int, Stats, error) {
 	var st Stats
 	tau, kappa := db.tau, db.kappa
+	// vtau is the verification threshold: the filters stay at the built
+	// τ (candidate generation is a superset for any smaller bound), but
+	// verification — and the pre-verify length/content bounds — answer
+	// the tighter threshold when one is requested.
+	vtau := tau
+	if opt.VerifyTau > 0 && opt.VerifyTau < tau {
+		vtau = opt.VerifyTau
+	}
 	m := tau + 1
 	l := opt.ChainLength
 	if l < 1 {
@@ -210,17 +245,20 @@ func (db *DB) Search(q string, opt Options) ([]int, Stats, error) {
 		if opt.SkipVerify {
 			return
 		}
-		if contentLowerBound(db.strMasks[id], qStrMask) > tau {
+		if contentLowerBound(db.strMasks[id], qStrMask) > vtau {
 			return
 		}
-		if EditDistanceWithin(db.strs[id], q, tau) >= 0 {
+		if d := EditDistanceWithin(db.strs[id], q, vtau); d >= 0 {
 			s.results = append(s.results, int(id))
+			if wantDist {
+				s.dists = append(s.dists, d)
+			}
 		}
 	}
 
 	// Short indexed strings bypass filtering (with the length filter).
 	for _, id := range db.short {
-		if diff(len(db.strs[id]), len(q)) <= tau {
+		if diff(len(db.strs[id]), len(q)) <= vtau {
 			st.Fallback++
 			verify(id)
 		}
@@ -236,14 +274,12 @@ func (db *DB) Search(q string, opt Options) ([]int, Stats, error) {
 			if db.pivotal[id] == nil {
 				continue // already handled via short
 			}
-			if diff(len(db.strs[id]), len(q)) <= tau {
+			if diff(len(db.strs[id]), len(q)) <= vtau {
 				st.Fallback++
 				verify(int32(id))
 			}
 		}
-		out := pairs.SortedIDs(s.results)
-		st.Results = len(out)
-		return out, st, nil
+		return finishSearch(s, &st, wantDist)
 	}
 	qLast := qPrefix[len(qPrefix)-1].ID
 	for _, g := range qPivotal {
@@ -277,7 +313,7 @@ func (db *DB) Search(q string, opt Options) ([]int, Stats, error) {
 		processed[id] = 1
 		s.marked = append(s.marked, id)
 		x := db.strs[id]
-		if diff(len(x), len(q)) > tau {
+		if diff(len(x), len(q)) > vtau {
 			return
 		}
 		st.Cand1++
@@ -378,9 +414,19 @@ func (db *DB) Search(q string, opt Options) ([]int, Stats, error) {
 		}
 	}
 
+	return finishSearch(s, &st, wantDist)
+}
+
+// finishSearch detaches the pooled result buffers: sorted ids on the
+// plain path, unsorted id/distance pairs on the SearchDist path.
+func finishSearch(s *strScratch, st *Stats, wantDist bool) ([]int, []int, Stats, error) {
+	if wantDist {
+		st.Results = len(s.results)
+		return slices.Clone(s.results), slices.Clone(s.dists), *st, nil
+	}
 	out := pairs.SortedIDs(s.results)
 	st.Results = len(out)
-	return out, st, nil
+	return out, nil, *st, nil
 }
 
 // SearchLinear scans the whole database with the banded verifier; it is
