@@ -572,7 +572,7 @@ func BenchmarkJoin(b *testing.B) {
 
 // BenchmarkJoinSharded contrasts the sharded join against the
 // unsharded BenchmarkJoin/set at equal data: pair output is identical,
-// the row-block fan-out and per-row shard skipping change the cost.
+// the shard-contiguous tile fan-out changes the cost.
 func BenchmarkJoinSharded(b *testing.B) {
 	ctx := context.Background()
 	sets := dataset.DBLP(benchJoinSetN, benchSeed)

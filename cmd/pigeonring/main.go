@@ -7,7 +7,8 @@
 //
 //	pigeonring -problem hamming|set|string|graph [-mode search|join]
 //	           [-n 5000] [-tau τ] [-l chain] [-queries 10] [-shards 1]
-//	           [-limit 0] [-k 0] [-save file] [-from-snapshot file]
+//	           [-limit 0] [-k 0] [-tile-size 0] [-show 10]
+//	           [-save file] [-from-snapshot file]
 //
 // -save persists the built index as a snapshot container after the
 // run's build step; -from-snapshot skips building entirely and opens
@@ -28,9 +29,13 @@
 // results plus how many ladder rungs each query climbed. -k is
 // mutually exclusive with -limit and join mode.
 //
-// -shards fans searches (and join row blocks) out across an
+// -shards fans searches (and join tiles) out across an
 // engine.Sharded index; -limit stops each search after its first n
-// ids, or the join after its first n pairs. Ctrl-C cancels the run
+// ids, or the join after its first n pairs. -tile-size fixes the edge
+// length of the join's 2-D tile decomposition (0 auto-sizes; the
+// output never changes, only the schedule) and -show caps how many
+// pairs join mode prints (-1 = all — the CI parity smoke diffs the
+// full listing of tiled vs single-tile runs). Ctrl-C cancels the run
 // mid-query: everything runs under a signal-bound context, so an
 // interrupted sweep stops at the next row or shard boundary instead
 // of finishing the whole batch.
@@ -63,6 +68,8 @@ func main() {
 	shards := flag.Int("shards", 1, "engine shards per index (-1 = auto by corpus size)")
 	limit := flag.Int("limit", 0, "stop each search after the first n ids (0 = all)")
 	topK := flag.Int("k", 0, "top-k mode: return the k nearest objects per query instead of everything within τ (0 = off)")
+	tileSize := flag.Int("tile-size", 0, "join tile edge length in rows (0 = auto)")
+	show := flag.Int("show", 10, "max pairs to print in join mode (-1 = all)")
 	seed := flag.Int64("seed", 42, "dataset seed")
 	save := flag.String("save", "", "write the built index to this snapshot file")
 	fromSnapshot := flag.String("from-snapshot", "", "open the index from this snapshot file instead of building")
@@ -116,7 +123,7 @@ func main() {
 		engine.Hamming: "GPH", engine.Set: "pkwise", engine.String: "Pivotal", engine.Graph: "Pars",
 	}[p]
 	if *mode == "join" {
-		runJoin(ctx, ix, p, baseName, *l, *limit, *shards)
+		runJoin(ctx, ix, p, baseName, *l, *limit, *shards, *tileSize, *show)
 		return
 	}
 	if *topK > 0 {
@@ -194,7 +201,7 @@ func runTopK(ctx context.Context, ix engine.Index, queriesQ []engine.Query, p en
 // runJoin self-joins the database twice — pigeonhole baseline, then
 // ring filter — and reports the pair count, candidate totals and the
 // speedup, mirroring the search-mode tally.
-func runJoin(ctx context.Context, ix engine.Index, p engine.Problem, baseName string, l, limit, shards int) {
+func runJoin(ctx context.Context, ix engine.Index, p engine.Problem, baseName string, l, limit, shards, tileSize, show int) {
 	joiner, ok := ix.(engine.Joiner)
 	if !ok {
 		log.Fatalf("%T does not support joins", ix)
@@ -202,11 +209,11 @@ func runJoin(ctx context.Context, ix engine.Index, p engine.Problem, baseName st
 	fmt.Printf("%s self-join: n=%d τ=%g shards=%d l=%d (0 = paper default)\n",
 		p, ix.Len(), ix.Tau(), shards, l)
 
-	_, bst, err := joiner.Join(ctx, engine.JoinOptions{ChainLength: 1, Limit: limit})
+	_, bst, err := joiner.Join(ctx, engine.JoinOptions{ChainLength: 1, Limit: limit, TileSize: tileSize})
 	if stopOnCancel(err) {
 		return
 	}
-	pairs, rst, err := joiner.Join(ctx, engine.JoinOptions{ChainLength: l, Limit: limit})
+	pairs, rst, err := joiner.Join(ctx, engine.JoinOptions{ChainLength: l, Limit: limit, TileSize: tileSize})
 	if stopOnCancel(err) {
 		return
 	}
@@ -218,13 +225,13 @@ func runJoin(ctx context.Context, ix engine.Index, p engine.Problem, baseName st
 	}
 	fmt.Printf("\n%-12s candidates: %d\n", baseName, bst.Candidates)
 	fmt.Printf("%-12s candidates: %d\n", "Ring", rst.Candidates)
-	fmt.Printf("pairs: %d (row blocks: %d", len(pairs), rst.JoinBlocks)
+	fmt.Printf("pairs: %d (tiles: %d", len(pairs), rst.JoinTiles)
 	if rst.Limited {
 		fmt.Printf(", limited to first %d", limit)
 	}
 	fmt.Printf(")\n")
 	for i, pr := range pairs {
-		if i == 10 {
+		if i == show {
 			fmt.Printf("  … %d more\n", len(pairs)-i)
 			break
 		}

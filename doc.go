@@ -19,8 +19,8 @@
 // API parallelizing across queries. Every built index also implements
 // the Joiner capability — Join(ctx, opt) and the streaming JoinSeq,
 // the all-pairs self-join behind dedup and entity resolution, answered
-// by row-block decomposition over the same pool with sharded output
-// pair-identical to unsharded — and the TopKSearcher capability:
+// by a 2-D upper-triangle tile decomposition over the same pool with
+// sharded output pair-identical to unsharded — and the TopKSearcher capability:
 // SearchTopK(ctx, q, opt) with Options.TopK answers "the k nearest"
 // instead of "everything within τ" by climbing an expanding τ ladder
 // until k results verify, returning ranked (id, distance) Results,

@@ -63,7 +63,7 @@ func main() {
 		len(base), bst.Candidates, float64(bst.WallNS)/1e6)
 	fmt.Printf("ring (l=2):   %d duplicate pairs, %d candidates, %.1fms\n",
 		len(ring), rst.Candidates, float64(rst.WallNS)/1e6)
-	fmt.Printf("row blocks: %d\n\n", rst.JoinBlocks)
+	fmt.Printf("join tiles: %d\n\n", rst.JoinTiles)
 	if len(base) != len(ring) {
 		log.Fatal("filters disagree on the duplicate set — impossible, both verify exactly")
 	}

@@ -33,12 +33,14 @@
 //     undispatched queries when the context fails.
 //   - Joins: every index built by this package additionally implements
 //     Joiner — the all-pairs self-join behind dedup and entity
-//     resolution, answered by row-block decomposition over the same
-//     worker pool, context-cancellable and limit-aware like a search,
-//     with a streaming JoinSeq. Sharded joins are pair-for-pair
-//     identical to unsharded ones.
+//     resolution, answered by a 2-D upper-triangle tile decomposition
+//     of the pair space over the same worker pool (each tile probes
+//     one id range against another through reusable per-tile scratch),
+//     context-cancellable and limit-aware like a search, with a
+//     streaming JoinSeq. Sharded joins are pair-for-pair identical to
+//     unsharded ones.
 //   - Stats: a common work/timing report with per-shard breakdown,
-//     join counters (Pairs, JoinBlocks) and optional filter/verify
+//     join counters (Pairs, JoinTiles) and optional filter/verify
 //     time split.
 //
 // All indexes are immutable after construction and every Search keeps

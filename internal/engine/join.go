@@ -4,31 +4,32 @@ import (
 	"context"
 	"fmt"
 	"iter"
-	"runtime"
 	"sort"
-	"time"
 
-	"repro/internal/pairs"
-	"repro/internal/parallel"
+	"repro/internal/graph"
+	"repro/internal/hamming"
+	"repro/internal/setsim"
+	"repro/internal/strdist"
 )
 
-// The v3 join API makes the paper's second headline workload — the
+// The join API makes the paper's second headline workload — the
 // all-pairs self-join behind dedup, entity resolution and record
-// matching — first-class in the engine, mirroring the v2 Search
+// matching — first-class in the engine, mirroring the Search
 // contract: context-cancellable, limit-aware, with a streaming
 // variant.
 //
-// Every implementation follows the same row-block decomposition: the
-// id range [0, n) splits into contiguous blocks, each block self-joins
-// its rows against the full index on a parallel.ForEachCtx worker pool
-// (row i's search keeps only partners j < i, so each pair is produced
-// exactly once), and the merged pairs are sorted into ascending (I, J)
-// order. Because every backend search is exact, the parallel result is
-// pair-for-pair identical to the backends' sequential Join loops —
-// and, on a sharded index, to the unsharded join.
+// Every implementation runs the 2-D tile decomposition of tiles.go:
+// the id range [0, n) splits into contiguous ranges, the pair space
+// into upper-triangle tiles, and a work-stealing pool probes each
+// tile's rows against its column range through the backends'
+// range-restricted searches (ascending-id posting lists make the
+// restriction two binary searches per probed list). Because every
+// backend search is exact, the parallel result is pair-for-pair
+// identical to the backends' sequential Join loops — and, on a
+// sharded index, to the unsharded join.
 //
-// Cancellation is checked between row searches inside each block and
-// between block dispatches, so a join over n rows aborts within one
+// Cancellation is checked between row probes inside each tile and
+// between tile dispatches, so a join over n rows aborts within one
 // backend pass of the context failing. JoinOptions.Limit trims the
 // output to the first Limit pairs of the (I, J) order; unlike a
 // search limit it cannot abandon work, because a late row's pairs may
@@ -42,7 +43,8 @@ type Pair struct {
 
 // JoinOptions tune one engine self-join, mirroring the search Options.
 // The zero value asks for the index defaults: its build-time τ, the
-// paper's recommended chain length, and no pair limit.
+// paper's recommended chain length, auto-sized tiles, and no pair
+// limit.
 type JoinOptions struct {
 	// ChainLength is the pigeonring chain length l applied to every
 	// row's search. 0 selects the paper's per-problem recommendation;
@@ -53,6 +55,15 @@ type JoinOptions struct {
 	// pairs of the unlimited join. Stats.Limited reports a cut. ≤ 0
 	// means unlimited.
 	Limit int
+	// TileSize, when > 0, fixes the edge length (in rows) of the 2-D
+	// tile decomposition; 0 auto-sizes from the corpus and worker pool
+	// (see resolveTileSize). The tiling never changes the output —
+	// only the schedule's granularity: smaller tiles balance better
+	// and bound per-worker memory tighter, at the price of repeating
+	// each row's fixed query-preparation cost once per tile the row
+	// appears in. On a sharded index tiles additionally never straddle
+	// a shard boundary.
+	TileSize int
 	// SkipVerify stops every row's search after candidate generation;
 	// Stats are filled but no pairs are returned.
 	SkipVerify bool
@@ -62,9 +73,9 @@ type JoinOptions struct {
 	// leave it off on hot paths.
 	Timings bool
 	// Hooks, when non-nil, receives span notifications as the join
-	// progresses: one Block callback per completed row block and a
+	// progresses: one Tile callback per completed tile and a
 	// StageSort span for the final pair ordering. Hooks never
-	// propagate into the per-row searches — a join over n rows would
+	// propagate into the per-row probes — a join over n rows would
 	// emit n query-level spans of pure noise. Nil costs one pointer
 	// check; see the Hooks type for the callback contract.
 	Hooks *Hooks
@@ -79,9 +90,9 @@ type JoinOptions struct {
 //	if j, ok := ix.(engine.Joiner); ok { pairs, st, err := j.Join(ctx, opt) }
 type Joiner interface {
 	// Join returns all result pairs in ascending (I, J) order along
-	// with aggregate statistics (Stats.Pairs, Stats.JoinBlocks). It
+	// with aggregate statistics (Stats.Pairs, Stats.JoinTiles). It
 	// returns ctx.Err() when the context fails before the join
-	// completes; cancellation is honored between row searches, so one
+	// completes; cancellation is honored between row probes, so one
 	// backend pass is the unit of non-interruptible work.
 	Join(ctx context.Context, opt JoinOptions) ([]Pair, Stats, error)
 	// JoinSeq is the streaming variant of Join: it yields pairs in
@@ -101,6 +112,16 @@ type objectSource interface {
 	object(i int) Query
 }
 
+// rangeSearcher is the tile join's probing capability: a search
+// restricted to the id range [lo, hi), appending its ascending
+// results to dst and its counters to st, with no per-call result or
+// stats allocation. The four adapters implement it; a Sharded shard
+// that doesn't (a foreign Index exposing objects) is probed through
+// its full Search with post-filtering.
+type rangeSearcher interface {
+	searchRange(ctx context.Context, q Query, opt Options, lo, hi int, dst []int64, st *Stats) ([]int64, error)
+}
+
 // searchOptions maps join options onto the per-row search options.
 // Limit never propagates: a row must report every smaller-id partner,
 // however many pairs the caller wants in total.
@@ -110,87 +131,6 @@ func (opt JoinOptions) searchOptions() Options {
 		SkipVerify:  opt.SkipVerify,
 		Timings:     opt.Timings,
 	}
-}
-
-// joinBlockCount picks the row-block fan-out width: a few blocks per
-// worker so an uneven block finishes early without idling the pool,
-// but never more blocks than rows.
-func joinBlockCount(n, workers int) int {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	return min(n, workers*4)
-}
-
-// joinSelf is the shared row-block self-join: each ForEachCtx job
-// takes one contiguous block of rows, searches every row against the
-// full index via search, and keeps partners j < i. search receives
-// the row id so composite indexes can skip shards that hold only
-// larger ids. The merged pairs are sorted ascending by (I, J) and
-// trimmed to opt.Limit.
-func joinSelf(ctx context.Context, n, workers int, obj func(i int) Query, search func(ctx context.Context, row int, q Query, sopt Options) ([]int64, Stats, error), opt JoinOptions) ([]Pair, Stats, error) {
-	start := time.Now()
-	blocks := chunks(n, joinBlockCount(n, workers))
-	sopt := opt.searchOptions()
-	blockPairs := make([][]Pair, len(blocks))
-	blockStats := make([]Stats, len(blocks))
-	traceBlocks := opt.Hooks.wantBlock()
-	err := parallel.ForEachCtx(ctx, len(blocks), workers, func(jobCtx context.Context, b int) error {
-		var blockStart time.Time
-		if traceBlocks {
-			blockStart = time.Now()
-		}
-		var ps []Pair
-		var agg Stats
-		for i := blocks[b][0]; i < blocks[b][1]; i++ {
-			if err := jobCtx.Err(); err != nil {
-				return err
-			}
-			ids, st, err := search(jobCtx, i, obj(i), sopt)
-			if err != nil {
-				return fmt.Errorf("engine: join row %d: %w", i, err)
-			}
-			agg.merge(st)
-			for _, j := range ids {
-				if j >= int64(i) {
-					// ids ascend, and partners ≥ i pair up when their
-					// own (later) row is searched.
-					break
-				}
-				ps = append(ps, Pair{I: j, J: int64(i)})
-			}
-		}
-		blockPairs[b], blockStats[b] = ps, agg
-		if traceBlocks {
-			opt.Hooks.Block(b, blocks[b][1]-blocks[b][0], time.Since(blockStart), agg)
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, Stats{}, err
-	}
-	var agg Stats
-	nOut := 0
-	for b := range blocks {
-		agg.merge(blockStats[b])
-		nOut += len(blockPairs[b])
-	}
-	out := make([]Pair, 0, nOut)
-	for _, ps := range blockPairs {
-		out = append(out, ps...)
-	}
-	sortStart := time.Now()
-	pairs.Sort(out)
-	opt.Hooks.stage(StageSort, time.Since(sortStart))
-	if opt.Limit > 0 && len(out) > opt.Limit {
-		out = out[:opt.Limit]
-		agg.Limited = true
-	}
-	agg.Results = len(out)
-	agg.Pairs = len(out)
-	agg.JoinBlocks = len(blocks)
-	agg.WallNS = time.Since(start).Nanoseconds()
-	return out, agg, nil
 }
 
 // collectJoinSeq adapts a blocking Join into the JoinSeq contract:
@@ -216,21 +156,128 @@ func collectJoinSeq(ctx context.Context, j Joiner, opt JoinOptions) iter.Seq2[Pa
 	}
 }
 
-// adapterJoin runs the row-block self-join of one plain adapter: the
-// adapter's own Search answers each row, and the fan-out width
+// adapterJoin runs the tiled self-join of one plain adapter: the
+// adapter's own range search answers each row, and the pool width
 // defaults to GOMAXPROCS (a plain adapter has no worker knob; shard
 // the index to bound join parallelism).
-func adapterJoin(ctx context.Context, ix Index, src objectSource, opt JoinOptions) ([]Pair, Stats, error) {
-	return joinSelf(ctx, ix.Len(), 0, src.object,
-		func(jobCtx context.Context, _ int, q Query, sopt Options) ([]int64, Stats, error) {
-			return ix.Search(jobCtx, q, sopt)
-		}, opt)
+func adapterJoin(ctx context.Context, ix Index, rs rangeSearcher, src objectSource, opt JoinOptions) ([]Pair, Stats, error) {
+	n := ix.Len()
+	ranges := tileRanges(n, resolveTileSize(n, opt.TileSize, 0), nil)
+	return joinTiles(ctx, 0, opt, ranges,
+		func(jobCtx context.Context, row, lo, hi int, sopt Options, dst []int64, st *Stats) ([]int64, error) {
+			return rs.searchRange(jobCtx, src.object(row), sopt, lo, hi, dst, st)
+		})
+}
+
+// --- Adapter range probes ----------------------------------------------------
+
+func (ix *hammingIndex) searchRange(ctx context.Context, q Query, opt Options, lo, hi int, dst []int64, st *Stats) ([]int64, error) {
+	if err := ctx.Err(); err != nil {
+		return dst, err
+	}
+	if err := checkKind(q, Hamming); err != nil {
+		return dst, err
+	}
+	tau, err := ix.resolveTau(opt.Tau, ix.tau)
+	if err != nil {
+		return dst, err
+	}
+	hopt := hamming.RingOptions(chain(opt.ChainLength, 6))
+	hopt.SkipVerify = opt.SkipVerify
+	var bst hamming.Stats
+	out, err := ix.db.SearchRangeAppend(q.vec, tau, hopt, lo, hi, dst, &bst)
+	if err != nil {
+		return dst, err
+	}
+	st.Candidates += bst.Candidates
+	st.Results += bst.Results
+	st.Probes += bst.Probes
+	st.BoxChecks += bst.BoxChecks
+	return out, nil
+}
+
+func (ix *setIndex) searchRange(ctx context.Context, q Query, opt Options, lo, hi int, dst []int64, st *Stats) ([]int64, error) {
+	if err := ctx.Err(); err != nil {
+		return dst, err
+	}
+	if err := checkKind(q, Set); err != nil {
+		return dst, err
+	}
+	if err := fixedTau(Set, opt.Tau, ix.Tau()); err != nil {
+		return dst, err
+	}
+	l := chain(opt.ChainLength, 2)
+	var bst setsim.Stats
+	out, err := ix.db.SearchRangeAppend(q.set, l, opt.SkipVerify, lo, hi, dst, &bst)
+	if err != nil {
+		return dst, err
+	}
+	st.Candidates += bst.Candidates
+	st.Results += bst.Results
+	st.Probes += bst.Probes
+	st.BoxChecks += bst.BoxChecks
+	return out, nil
+}
+
+func (ix *stringIndex) searchRange(ctx context.Context, q Query, opt Options, lo, hi int, dst []int64, st *Stats) ([]int64, error) {
+	if err := ctx.Err(); err != nil {
+		return dst, err
+	}
+	if err := checkKind(q, String); err != nil {
+		return dst, err
+	}
+	if err := fixedTau(String, opt.Tau, ix.Tau()); err != nil {
+		return dst, err
+	}
+	l := chain(opt.ChainLength, min(3, ix.db.Tau()+1))
+	sopt := strdist.RingOptions(l)
+	if l == 1 {
+		sopt = strdist.PivotalOptions()
+	}
+	sopt.SkipVerify = opt.SkipVerify
+	var bst strdist.Stats
+	out, err := ix.db.SearchRangeAppend(q.str, sopt, lo, hi, dst, &bst)
+	if err != nil {
+		return dst, err
+	}
+	st.Candidates += bst.Cand2 + bst.Fallback
+	st.Results += bst.Results
+	st.Probes += bst.Probes
+	st.BoxChecks += bst.BoxChecks
+	return out, nil
+}
+
+func (ix *graphIndex) searchRange(ctx context.Context, q Query, opt Options, lo, hi int, dst []int64, st *Stats) ([]int64, error) {
+	if err := ctx.Err(); err != nil {
+		return dst, err
+	}
+	if err := checkKind(q, Graph); err != nil {
+		return dst, err
+	}
+	if err := fixedTau(Graph, opt.Tau, ix.Tau()); err != nil {
+		return dst, err
+	}
+	l := chain(opt.ChainLength, max(1, ix.db.Tau()-1))
+	gopt := graph.RingOptions(l)
+	if l == 1 {
+		gopt = graph.ParsOptions()
+	}
+	gopt.SkipVerify = opt.SkipVerify
+	var bst graph.Stats
+	out, err := ix.db.SearchRangeAppend(q.g, gopt, lo, hi, dst, &bst)
+	if err != nil {
+		return dst, err
+	}
+	st.Candidates += bst.Candidates
+	st.Results += bst.Results
+	st.BoxChecks += bst.BoxChecks
+	return out, nil
 }
 
 // --- Adapter joins -----------------------------------------------------------
 
 func (ix *hammingIndex) Join(ctx context.Context, opt JoinOptions) ([]Pair, Stats, error) {
-	return adapterJoin(ctx, ix, ix, opt)
+	return adapterJoin(ctx, ix, ix, ix, opt)
 }
 
 func (ix *hammingIndex) JoinSeq(ctx context.Context, opt JoinOptions) iter.Seq2[Pair, error] {
@@ -238,7 +285,7 @@ func (ix *hammingIndex) JoinSeq(ctx context.Context, opt JoinOptions) iter.Seq2[
 }
 
 func (ix *setIndex) Join(ctx context.Context, opt JoinOptions) ([]Pair, Stats, error) {
-	return adapterJoin(ctx, ix, ix, opt)
+	return adapterJoin(ctx, ix, ix, ix, opt)
 }
 
 func (ix *setIndex) JoinSeq(ctx context.Context, opt JoinOptions) iter.Seq2[Pair, error] {
@@ -246,7 +293,7 @@ func (ix *setIndex) JoinSeq(ctx context.Context, opt JoinOptions) iter.Seq2[Pair
 }
 
 func (ix *stringIndex) Join(ctx context.Context, opt JoinOptions) ([]Pair, Stats, error) {
-	return adapterJoin(ctx, ix, ix, opt)
+	return adapterJoin(ctx, ix, ix, ix, opt)
 }
 
 func (ix *stringIndex) JoinSeq(ctx context.Context, opt JoinOptions) iter.Seq2[Pair, error] {
@@ -254,7 +301,7 @@ func (ix *stringIndex) JoinSeq(ctx context.Context, opt JoinOptions) iter.Seq2[P
 }
 
 func (ix *graphIndex) Join(ctx context.Context, opt JoinOptions) ([]Pair, Stats, error) {
-	return adapterJoin(ctx, ix, ix, opt)
+	return adapterJoin(ctx, ix, ix, ix, opt)
 }
 
 func (ix *graphIndex) JoinSeq(ctx context.Context, opt JoinOptions) iter.Seq2[Pair, error] {
@@ -263,17 +310,20 @@ func (ix *graphIndex) JoinSeq(ctx context.Context, opt JoinOptions) iter.Seq2[Pa
 
 // --- Sharded join ------------------------------------------------------------
 
-// Join self-joins the whole sharded database: row blocks fan out
-// across the worker pool, and each row queries the shards it can pair
-// with — shards holding only larger ids are skipped, since their
-// partners surface when those rows are searched. The output is
+// Join self-joins the whole sharded database: the tile ranges are cut
+// at shard boundaries (a tile's column range always lies inside one
+// shard), tiles fan out across the worker pool, and each row probes
+// exactly the shard its tile's column range lives in. The output is
 // pair-for-pair identical to joining one unsharded index over the
 // whole database, for the same reason sharded search is id-identical:
 // every shard returns exact, ascending results.
 //
 // Joining requires shards built by this package (or any Index exposing
 // its objects to the engine); a foreign shard type fails with an
-// error.
+// error. Shards built by this package are probed through their
+// allocation-free range searches; a foreign shard that does expose
+// objects falls back to its full Search with the ids post-filtered to
+// the tile's column range.
 func (s *Sharded) Join(ctx context.Context, opt JoinOptions) ([]Pair, Stats, error) {
 	srcs := make([]objectSource, len(s.shards))
 	for i, sh := range s.shards {
@@ -287,30 +337,41 @@ func (s *Sharded) Join(ctx context.Context, opt JoinOptions) ([]Pair, Stats, err
 		k := s.shardOf(int64(i))
 		return srcs[k].object(i - int(s.offsets[k]))
 	}
-	search := func(jobCtx context.Context, row int, q Query, sopt Options) ([]int64, Stats, error) {
-		// The shards before and including row's own hold every id
-		// < row; later shards can only produce larger-id partners, so
-		// they are skipped. Within one row the shards run sequentially
-		// — the join's parallelism is across row blocks.
-		var ids []int64
-		var agg Stats
-		for k := 0; k <= s.shardOf(int64(row)); k++ {
-			if err := jobCtx.Err(); err != nil {
-				return nil, Stats{}, err
-			}
-			shardIDs, st, err := s.shards[k].Search(jobCtx, q, sopt)
+	ranges := tileRanges(s.total, resolveTileSize(s.total, opt.TileSize, s.workers), s.offsets[1:])
+	probe := func(jobCtx context.Context, row, lo, hi int, sopt Options, dst []int64, st *Stats) ([]int64, error) {
+		// The tile ranges never straddle a shard, so [lo, hi) lies
+		// fully inside shard k and one local range search answers it.
+		k := s.shardOf(int64(lo))
+		off := s.offsets[k]
+		q := obj(row)
+		if rs, ok := s.shards[k].(rangeSearcher); ok {
+			base := len(dst)
+			out, err := rs.searchRange(jobCtx, q, sopt, lo-int(off), hi-int(off), dst, st)
 			if err != nil {
-				return nil, Stats{}, fmt.Errorf("shard %d: %w", k, err)
+				return dst, fmt.Errorf("shard %d: %w", k, err)
 			}
-			for j := range shardIDs {
-				shardIDs[j] += s.offsets[k]
+			for i := base; i < len(out); i++ {
+				out[i] += off
 			}
-			ids = append(ids, shardIDs...)
-			agg.merge(st)
+			return out, nil
 		}
-		return ids, agg, nil
+		// Foreign shard: full search, then keep only the tile's column
+		// range. Counters cover the work actually performed, which for
+		// this path is the whole shard.
+		ids, bst, err := s.shards[k].Search(jobCtx, q, sopt)
+		if err != nil {
+			return dst, fmt.Errorf("shard %d: %w", k, err)
+		}
+		st.merge(bst)
+		for _, id := range ids {
+			gid := id + off
+			if gid >= int64(lo) && gid < int64(hi) {
+				dst = append(dst, gid)
+			}
+		}
+		return dst, nil
 	}
-	return joinSelf(ctx, s.total, s.workers, obj, search, opt)
+	return joinTiles(ctx, s.workers, opt, ranges, probe)
 }
 
 // JoinSeq streams the sharded join's pairs; see Joiner.JoinSeq for the

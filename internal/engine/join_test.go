@@ -156,8 +156,8 @@ func TestJoinMatchesJoinLinear(t *testing.T) {
 					if st.Pairs != len(tc.want) || st.Results != len(tc.want) {
 						t.Fatalf("%s l=%d: Stats.Pairs=%d Results=%d, want %d", name, l, st.Pairs, st.Results, len(tc.want))
 					}
-					if st.JoinBlocks < 1 {
-						t.Fatalf("%s l=%d: JoinBlocks=%d, want ≥ 1", name, l, st.JoinBlocks)
+					if st.JoinTiles < 1 {
+						t.Fatalf("%s l=%d: JoinTiles=%d, want ≥ 1", name, l, st.JoinTiles)
 					}
 					if st.Limited {
 						t.Fatalf("%s l=%d: Limited set on an unlimited join", name, l)
@@ -311,7 +311,7 @@ func TestJoinCancelPrompt(t *testing.T) {
 		t.Fatal("cancelled join did not return within 5s")
 	}
 
-	// A context that is already dead never dispatches a row block —
+	// A context that is already dead never dispatches a tile —
 	// on the sharded composite and on a plain adapter alike.
 	dead, deadCancel := context.WithCancel(context.Background())
 	deadCancel()

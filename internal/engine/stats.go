@@ -42,9 +42,9 @@ type Stats struct {
 	// searches. It equals Results on a join and exists so mixed
 	// search/join aggregations can tell the two workloads apart.
 	Pairs int `json:"pairs,omitempty"`
-	// JoinBlocks is the number of contiguous row blocks a join's
-	// fan-out decomposed the database into; 0 for searches.
-	JoinBlocks int `json:"joinBlocks,omitempty"`
+	// JoinTiles is the number of upper-triangle 2-D tiles a join's
+	// fan-out decomposed the id×id pair space into; 0 for searches.
+	JoinTiles int `json:"joinTiles,omitempty"`
 	// Rungs is the number of τ-ladder rungs a top-k search climbed
 	// (summed across shards on a sharded index); 0 for threshold
 	// searches.

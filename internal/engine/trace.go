@@ -4,7 +4,7 @@ import "time"
 
 // The tracing seam: Options.Hooks (and JoinOptions.Hooks) carry an
 // optional set of callbacks the engine invokes at span boundaries —
-// per-query stages, per-shard fan-out legs, per-block join legs. The
+// per-query stages, per-shard fan-out legs, per-tile join legs. The
 // serving layer plugs latency histograms and slow-query attribution in
 // here; the engine itself neither records nor aggregates anything.
 //
@@ -33,7 +33,7 @@ const (
 	// index emits it for the whole fan-out, not per shard.
 	StageSearch Stage = "search"
 	// StageSort is the result-ordering step of a join (pairs are
-	// merged across blocks, then sorted into (I, J) order).
+	// merged across tiles, then sorted into (I, J) order).
 	StageSort Stage = "sort"
 	// StageSnapshotWrite is one full WriteSnapshot pass — serializing
 	// an index into its on-disk container.
@@ -58,10 +58,13 @@ type Hooks struct {
 	// feeding per-shard duration-spread metrics. Concurrent across
 	// shards.
 	Shard func(shard int, d time.Duration, st Stats)
-	// Block fires when one row block of a join completes, with the
-	// block ordinal, its row count, duration and aggregate Stats.
-	// Concurrent across blocks.
-	Block func(block, rows int, d time.Duration, st Stats)
+	// Tile fires when one 2-D tile of a join completes, with the tile
+	// ordinal (in the work-descending schedule order), the ordinals of
+	// its row and column id ranges (ri ≤ rj; ri == rj is a diagonal
+	// tile), its row count, duration and aggregate Stats. Concurrent
+	// across tiles. The diagonal tiles partition the corpus rows, so
+	// summing rows over callbacks with ri == rj recovers n.
+	Tile func(tile, ri, rj, rows int, d time.Duration, st Stats)
 	// Rung fires after each completed rung of a top-k τ-ladder with
 	// the 1-based rung ordinal, the rung's threshold bound and the
 	// number of candidates the rung's filter pass admitted. On a
@@ -88,4 +91,4 @@ func (h *Hooks) wantShard() bool { return h != nil && h.Shard != nil }
 
 func (h *Hooks) wantRung() bool { return h != nil && h.Rung != nil }
 
-func (h *Hooks) wantBlock() bool { return h != nil && h.Block != nil }
+func (h *Hooks) wantTile() bool { return h != nil && h.Tile != nil }

@@ -13,11 +13,11 @@ import (
 // spanLog collects hook invocations; safe for the concurrent callbacks
 // the Hooks contract allows.
 type spanLog struct {
-	mu     sync.Mutex
-	stages map[Stage]int
-	shards []int
-	blocks int
-	rows   int
+	mu       sync.Mutex
+	stages   map[Stage]int
+	shards   []int
+	tiles    int
+	diagRows int
 }
 
 func newSpanLog() *spanLog { return &spanLog{stages: make(map[Stage]int)} }
@@ -37,11 +37,18 @@ func (l *spanLog) hooks() *Hooks {
 			defer l.mu.Unlock()
 			l.shards = append(l.shards, shard)
 		},
-		Block: func(block, rows int, d time.Duration, st Stats) {
+		Tile: func(tile, ri, rj, rows int, d time.Duration, st Stats) {
 			l.mu.Lock()
 			defer l.mu.Unlock()
-			l.blocks++
-			l.rows += rows
+			if ri > rj {
+				panic("tile with ri > rj")
+			}
+			l.tiles++
+			if ri == rj {
+				// The diagonal tiles partition the corpus rows, so their
+				// row counts must sum back to n.
+				l.diagRows += rows
+			}
 		},
 	}
 }
@@ -118,8 +125,9 @@ func TestHooksSharded(t *testing.T) {
 	}
 }
 
-// TestHooksJoin: one Block span per row block covering every row, one
-// StageSort span, and no per-row search spans.
+// TestHooksJoin: one Tile span per 2-D tile, with the diagonal tiles'
+// rows partitioning the corpus, one StageSort span, and no per-row
+// search spans.
 func TestHooksJoin(t *testing.T) {
 	vecs := dataset.GIST(120, 23)
 	ix, err := BuildHamming(vecs, 16, 24, 2, 2)
@@ -132,10 +140,10 @@ func TestHooksJoin(t *testing.T) {
 		t.Fatal(err)
 	}
 	l.mu.Lock()
-	blocks, rows := l.blocks, l.rows
+	tiles, diagRows := l.tiles, l.diagRows
 	l.mu.Unlock()
-	if blocks < 1 || rows != len(vecs) {
-		t.Fatalf("block spans cover %d rows in %d blocks, want %d rows", rows, blocks, len(vecs))
+	if tiles < 1 || diagRows != len(vecs) {
+		t.Fatalf("tile spans: %d tiles, diagonal rows %d, want ≥ 1 tiles covering %d rows", tiles, diagRows, len(vecs))
 	}
 	if got := l.stageCount(StageSort); got != 1 {
 		t.Fatalf("sort spans = %d, want 1", got)

@@ -1,0 +1,49 @@
+package graph
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// TestSearchRangeAppendParity: the range search returns exactly the
+// full search's results restricted to [lo, hi), appended to dst in
+// ascending order, for the Pars baseline and the Ring filter alike —
+// the contract the engine's tiled join builds on.
+func TestSearchRangeAppendParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	graphs := moleculeCorpus(rng, 80, 5, 10, 6, 2)
+	db, err := NewDB(graphs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := [][2]int{{0, 80}, {0, 0}, {21, 60}, {60, 21}, {-5, 40}, {70, 999}}
+	for _, opt := range []Options{ParsOptions(), RingOptions(2)} {
+		for qi := 0; qi < 10; qi++ {
+			q := graphs[qi*7]
+			full, _, err := db.Search(q, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range windows {
+				var st Stats
+				got, err := db.SearchRangeAppend(q, opt, w[0], w[1], []int64{-7}, &st)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got[0] != -7 {
+					t.Fatalf("window %v: dst prefix clobbered", w)
+				}
+				var want []int64
+				for _, id := range full {
+					if id >= w[0] && id < w[1] {
+						want = append(want, int64(id))
+					}
+				}
+				if !slices.Equal(got[1:], want) {
+					t.Fatalf("ring=%v q=%d window %v: got %v, want %v", opt.Ring, qi, w, got[1:], want)
+				}
+			}
+		}
+	}
+}

@@ -244,7 +244,7 @@ func (c *boxCache) get(i, budget int, part, q *Graph, st *Stats, ks *kernelScrat
 // resolved by a deletion-neighbourhood probe with exactly the budget
 // the chain has left, ⌊l'·τ/m − consumed⌋.
 func (db *DB) Search(q *Graph, opt Options) ([]int, Stats, error) {
-	s, st := db.search(q, opt, false)
+	s, st := db.search(q, opt, 0, len(db.graphs), false)
 	out := pairs.SortedIDs(s.results)
 	db.putScratch(s)
 	st.Results = len(out)
@@ -255,7 +255,7 @@ func (db *DB) Search(q *Graph, opt Options) ([]int, Stats, error) {
 // int64 id space inside the single detach copy; the engine adapter's
 // former sort-then-widen epilogue paid a second allocation per search.
 func (db *DB) SearchIDs64(q *Graph, opt Options) ([]int64, Stats, error) {
-	s, st := db.search(q, opt, false)
+	s, st := db.search(q, opt, 0, len(db.graphs), false)
 	out := pairs.SortedIDs64(s.results)
 	db.putScratch(s)
 	st.Results = len(out)
@@ -268,7 +268,7 @@ func (db *DB) SearchIDs64(q *Graph, opt Options) ([]int64, Stats, error) {
 // distance anyway, so the id sort is skipped. With SkipVerify set no
 // results (and so no distances) are produced.
 func (db *DB) SearchDist(q *Graph, opt Options) ([]int, []int, Stats, error) {
-	s, st := db.search(q, opt, true)
+	s, st := db.search(q, opt, 0, len(db.graphs), true)
 	ids := slices.Clone(s.results)
 	dists := slices.Clone(s.dists)
 	db.putScratch(s)
@@ -276,7 +276,39 @@ func (db *DB) SearchDist(q *Graph, opt Options) ([]int, []int, Stats, error) {
 	return ids, dists, st, nil
 }
 
-func (db *DB) search(q *Graph, opt Options, wantDist bool) (*searchScratch, Stats) {
+// SearchRangeAppend runs the τ search restricted to ids in [lo, hi),
+// appending the qualifying ids in ascending order to dst and
+// accumulating statistics into st. It is the join engine's per-tile
+// probe: the scan loop simply iterates the id range, so the
+// restriction is free.
+func (db *DB) SearchRangeAppend(q *Graph, opt Options, lo, hi int, dst []int64, st *Stats) ([]int64, error) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(db.graphs) {
+		hi = len(db.graphs)
+	}
+	if lo >= hi {
+		return dst, nil
+	}
+	s, rst := db.search(q, opt, lo, hi, false)
+	// The ascending scan produces ascending results; widen before the
+	// scratch (and its result buffer) goes back to the pool.
+	for _, id := range s.results {
+		dst = append(dst, int64(id))
+	}
+	rst.Results = len(s.results)
+	db.putScratch(s)
+	st.Candidates += rst.Candidates
+	st.Results += rst.Results
+	st.Prefiltered += rst.Prefiltered
+	st.BoxChecks += rst.BoxChecks
+	return dst, nil
+}
+
+// search scans ids in [lo, hi) (the full corpus for the public Search
+// wrappers, one tile's range on the join path).
+func (db *DB) search(q *Graph, opt Options, lo, hi int, wantDist bool) (*searchScratch, Stats) {
 	var st Stats
 	tau := db.tau
 	// vtau is the verification threshold: the filters stay at the built
@@ -304,7 +336,8 @@ func (db *DB) search(q *Graph, opt Options, wantDist bool) (*searchScratch, Stat
 	cache := s.cache
 	results := s.results
 	dists := s.dists
-	for id, g := range db.graphs {
+	for id := lo; id < hi; id++ {
+		g := db.graphs[id]
 		if opt.LabelPrefilter &&
 			LabelLowerBound(db.labels[id], qLabels, g.N(), q.N(), db.ecount[id], qEdges) > tau {
 			st.Prefiltered++

@@ -512,6 +512,124 @@ func (db *DB) search(q bitvec.Vector, tau int, opt Options, wantDist bool) ([]in
 	return out, nil, st, nil
 }
 
+// SearchRangeAppend runs the tau search restricted to ids in [lo, hi),
+// appending the verified ids in ascending order to dst and accumulating
+// statistics into st. It is the join engine's per-tile probe: posting
+// lists are ascending-id by construction, so the restriction costs two
+// binary searches per probed list, and the per-call threshold clone of
+// Search is skipped so a tile's rows share one stats buffer with zero
+// steady-state allocations.
+func (db *DB) SearchRangeAppend(q bitvec.Vector, tau int, opt Options, lo, hi int, dst []int64, st *Stats) ([]int64, error) {
+	if q.Dim() != db.Dim() {
+		return dst, fmt.Errorf("hamming: query dimension %d, want %d", q.Dim(), db.Dim())
+	}
+	if tau < 0 {
+		return dst, fmt.Errorf("hamming: negative threshold %d", tau)
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(db.vecs) {
+		hi = len(db.vecs)
+	}
+	if lo >= hi {
+		return dst, nil
+	}
+	m := db.part.M()
+	l := opt.ChainLength
+	if l < 1 {
+		l = 1
+	}
+	if l > m {
+		l = m
+	}
+
+	total := tau - m + 1
+	if opt.NoIntegerReduction {
+		total = tau
+	}
+	s := db.getScratch()
+	defer db.putScratch(s)
+	qParts := s.qParts
+	for i := 0; i < m; i++ {
+		qParts[i] = db.part.Extract(q, i)
+	}
+	t := db.allocate(qParts, total, opt.Alloc, s)
+	tpre := s.tpre
+	for i := 0; i < 2*m; i++ {
+		tpre[i+1] = tpre[i] + t[i%m]
+	}
+	slack := 1
+	if opt.NoIntegerReduction {
+		slack = 0
+	}
+
+	accepted := s.accepted
+	results := s.results
+	rlo, rhi := int32(lo), int32(hi)
+
+	for i := 0; i < m; i++ {
+		if t[i] < 0 {
+			continue
+		}
+		w := db.part.Width(i)
+		ti := t[i]
+		if ti > w {
+			ti = w
+		}
+		pidx := &db.index[i]
+		bitvec.EnumerateBall(qParts[i], w, ti, func(u uint64) {
+			st.Enumerated++
+			postings := pidx.lookup(u)
+			a, _ := slices.BinarySearch(postings, rlo)
+			b, _ := slices.BinarySearch(postings, rhi)
+			postings = postings[a:b]
+			st.Probes += len(postings)
+			for _, id := range postings {
+				if accepted[id] {
+					continue
+				}
+				if l > 1 {
+					cur := db.vecs[id]
+					sum, slk := 0, 0
+					viable := true
+					for lp := 1; lp <= l; lp++ {
+						k := i + lp - 1
+						if k >= m {
+							k -= m
+						}
+						st.BoxChecks++
+						sum += db.part.PartDistance(cur, q, k)
+						if sum > tpre[i+lp]-tpre[i]+slk {
+							viable = false
+							break
+						}
+						slk += slack
+					}
+					if !viable {
+						continue
+					}
+				}
+				accepted[id] = true
+				s.marked = append(s.marked, id)
+				st.Candidates++
+				if !opt.SkipVerify {
+					if bitvec.HammingAbandon(db.vecs[id], q, tau) >= 0 {
+						results = append(results, int(id))
+					}
+				}
+			}
+		})
+	}
+	s.results = results
+	slices.Sort(results)
+	st.Results += len(results)
+	for _, id := range results {
+		dst = append(dst, int64(id))
+	}
+	return dst, nil
+}
+
 // SearchLinear scans the whole database; it is the ground truth used by
 // tests and the naïve baseline cost reference.
 func (db *DB) SearchLinear(q bitvec.Vector, tau int) []int {

@@ -1,0 +1,49 @@
+package hamming
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestSearchRangeAppendParity: for any id window [lo, hi), the range
+// search returns exactly the full search's results restricted to the
+// window, appended to dst in ascending order — the contract the
+// engine's tiled join builds on.
+func TestSearchRangeAppendParity(t *testing.T) {
+	vecs := dataset.GIST(200, 31)
+	db, err := NewDB(vecs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tau = 24
+	opt := RingOptions(3)
+	windows := [][2]int{{0, 200}, {0, 0}, {57, 140}, {140, 57}, {-5, 90}, {150, 999}}
+	for qi := 0; qi < 20; qi++ {
+		q := vecs[qi*9]
+		full, _, err := db.Search(q, tau, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range windows {
+			var st Stats
+			got, err := db.SearchRangeAppend(q, tau, opt, w[0], w[1], []int64{-7}, &st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[0] != -7 {
+				t.Fatalf("window %v: dst prefix clobbered", w)
+			}
+			var want []int64
+			for _, id := range full {
+				if id >= w[0] && id < w[1] {
+					want = append(want, int64(id))
+				}
+			}
+			if !slices.Equal(got[1:], want) {
+				t.Fatalf("q=%d window %v: got %v, want %v", qi, w, got[1:], want)
+			}
+		}
+	}
+}

@@ -73,6 +73,9 @@ type Series struct {
 	Filter string `json:"filter"`
 	// Shards is the shard count of the index (1 = plain adapter).
 	Shards int `json:"shards"`
+	// TileSize is the explicit join tile edge length of a tilesweep
+	// series (0 everywhere else: the join workloads auto-size).
+	TileSize int `json:"tileSize,omitempty"`
 	// N is the corpus size.
 	N int `json:"n"`
 	// Queries is the number of distinct sampled queries (search and

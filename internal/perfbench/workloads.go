@@ -31,6 +31,13 @@ import (
 //
 // The pigeonhole and pigeonring variants run the same corpus and
 // queries, so their ratio is the paper's headline constant factor.
+//
+// The hamming join additionally runs a tile-size sweep —
+// tilesweep/hamming/pigeonring@{1tile,auto,r4,r16} — measuring the
+// same join at one tile over the whole corpus, the auto-sized
+// schedule, and 4 and 16 id ranges, so a tile-sizing regression shows
+// up as divergence within the sweep rather than only in the gated
+// join series.
 
 const (
 	filterHole = "pigeonhole"
@@ -215,6 +222,18 @@ func Run(cfg Config) (*Report, error) {
 			rep.Series = append(rep.Series, s)
 			if cfg.Progress != nil {
 				cfg.Progress(s)
+			}
+		}
+		if env.problem == "hamming" {
+			sweep, err := runTileSweep(ctx, cfg, env)
+			if err != nil {
+				return nil, fmt.Errorf("perfbench: tilesweep: %w", err)
+			}
+			for _, s := range sweep {
+				rep.Series = append(rep.Series, s)
+				if cfg.Progress != nil {
+					cfg.Progress(s)
+				}
 			}
 		}
 	}
@@ -460,6 +479,56 @@ func runJoin(ctx context.Context, cfg Config, env problemEnv, ix engine.Index, f
 	s.FilterNsPerOp = float64(tst.FilterNS)
 	s.VerifyNsPerOp = float64(tst.VerifyNS)
 	return s, nil
+}
+
+// runTileSweep measures the ring join of the plain hamming index at a
+// ladder of explicit tile sizes. The sweep is diagnostic, not gated:
+// every point produces the same pairs, so the interesting signal is
+// how ns/op and allocs/op move with the schedule.
+func runTileSweep(ctx context.Context, cfg Config, env problemEnv) ([]Series, error) {
+	joiner, ok := env.joinPlain.(engine.Joiner)
+	if !ok {
+		return nil, fmt.Errorf("%T does not implement engine.Joiner", env.joinPlain)
+	}
+	points := []struct {
+		label string
+		size  int
+	}{
+		{"1tile", env.joinN},
+		{"auto", 0},
+		{"r4", (env.joinN + 3) / 4},
+		{"r16", (env.joinN + 15) / 16},
+	}
+	var out []Series
+	for _, pt := range points {
+		s := baseSeries("tilesweep", env, filterRing, false)
+		s.Name += "@" + pt.label
+		s.N = env.joinN
+		s.TileSize = pt.size
+		opt := engine.JoinOptions{TileSize: pt.size}
+
+		ps, st, err := joiner.Join(ctx, opt) // warm pass
+		if err != nil {
+			return nil, err
+		}
+		s.CandidatesPerOp = float64(st.Candidates)
+		s.ResultsPerOp = float64(len(ps))
+
+		ops := cfg.reps()
+		lat := latencyHist()
+		ns, allocs, bytes, err := measure(ops, lat, func(int) error {
+			_, _, err := joiner.Join(ctx, opt)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.Ops, s.NsPerOp, s.AllocsPerOp, s.BytesPerOp = ops, ns, allocs, bytes
+		s.PairsPerSec = s.ResultsPerOp * 1e9 / ns
+		fillQuantiles(&s, lat)
+		out = append(out, s)
+	}
+	return out, nil
 }
 
 func baseSeries(workload string, env problemEnv, filter string, sharded bool) Series {

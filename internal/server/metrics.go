@@ -46,10 +46,11 @@ type problemMetrics struct {
 
 	topkRungs *telemetry.Counter
 
-	searchSeconds *telemetry.Histogram
-	joinSeconds   *telemetry.Histogram
-	shardSeconds  *telemetry.Histogram
-	topkRungsPer  *telemetry.Histogram
+	searchSeconds   *telemetry.Histogram
+	joinSeconds     *telemetry.Histogram
+	joinTileSeconds *telemetry.Histogram
+	shardSeconds    *telemetry.Histogram
+	topkRungsPer    *telemetry.Histogram
 
 	snapshotWriteSeconds *telemetry.Histogram
 	snapshotOpenSeconds  *telemetry.Histogram
@@ -93,10 +94,11 @@ func (m *serverMetrics) problem(p engine.Problem) *problemMetrics {
 
 		topkRungs: m.reg.Counter("pigeonring_topk_rungs_total", "τ-ladder rungs climbed across all top-k searches (per shard on a sharded index).", l),
 
-		searchSeconds: m.reg.Histogram("pigeonring_search_seconds", "Per-search engine latency.", lat, l),
-		topkRungsPer:  m.reg.Histogram("pigeonring_topk_rungs_per_query", "τ-ladder depth of one top-k search, summed across shards.", []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}, l),
-		joinSeconds:   m.reg.Histogram("pigeonring_join_seconds", "Per-join engine latency.", lat, l),
-		shardSeconds:  m.reg.Histogram("pigeonring_shard_seconds", "Per-shard fan-out leg latency; the distribution's spread is shard imbalance.", lat, l),
+		searchSeconds:   m.reg.Histogram("pigeonring_search_seconds", "Per-search engine latency.", lat, l),
+		topkRungsPer:    m.reg.Histogram("pigeonring_topk_rungs_per_query", "τ-ladder depth of one top-k search, summed across shards.", []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}, l),
+		joinSeconds:     m.reg.Histogram("pigeonring_join_seconds", "Per-join engine latency.", lat, l),
+		joinTileSeconds: m.reg.Histogram("pigeonring_join_tile_seconds", "Per-tile join leg latency; the distribution's spread is tile imbalance.", lat, l),
+		shardSeconds:    m.reg.Histogram("pigeonring_shard_seconds", "Per-shard fan-out leg latency; the distribution's spread is shard imbalance.", lat, l),
 
 		snapshotWriteSeconds: m.reg.Histogram("pigeonring_snapshot_write_seconds", "One full snapshot-write pass (serialize + fsync + rename).", lat, l),
 		snapshotOpenSeconds:  m.reg.Histogram("pigeonring_snapshot_open_seconds", "One full snapshot-open pass (validate + reconstruct).", lat, l),

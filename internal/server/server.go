@@ -573,6 +573,9 @@ func newHooks(pm *problemMetrics) *engine.Hooks {
 		Shard: func(_ int, d time.Duration, _ engine.Stats) {
 			pm.shardSeconds.Observe(d.Seconds())
 		},
+		Tile: func(_, _, _, _ int, d time.Duration, _ engine.Stats) {
+			pm.joinTileSeconds.Observe(d.Seconds())
+		},
 		Rung: func(_ int, _ float64, _ int) {
 			pm.topkRungs.Inc()
 		},
@@ -1254,6 +1257,10 @@ type JoinRequest struct {
 	// Timings measures the aggregate filter/verify time split (runs
 	// candidate generation twice per row).
 	Timings bool `json:"timings,omitempty"`
+	// TileSize fixes the edge length (in rows) of the join's 2-D tile
+	// decomposition; 0 lets the engine auto-size. Tiling never changes
+	// the result pairs, only the schedule.
+	TileSize int `json:"tileSize,omitempty"`
 }
 
 // JoinResponse carries the join's result pairs as [i, j] arrays with
@@ -1283,8 +1290,8 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	if req.Limit < 0 || req.TimeoutMS < 0 {
-		writeError(w, r, http.StatusBadRequest, "limit and timeout_ms must be non-negative")
+	if req.Limit < 0 || req.TimeoutMS < 0 || req.TileSize < 0 {
+		writeError(w, r, http.StatusBadRequest, "limit, timeout_ms and tileSize must be non-negative")
 		return
 	}
 	e, p, ok := s.lookup(w, r, req.Problem)
@@ -1305,6 +1312,8 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		Limit:       req.Limit,
 		SkipVerify:  req.SkipVerify,
 		Timings:     req.Timings,
+		TileSize:    req.TileSize,
+		Hooks:       e.hooks,
 	})
 	if err != nil {
 		writeSearchError(w, r, e, err)

@@ -562,8 +562,8 @@ func TestJoinEndpoint(t *testing.T) {
 			t.Fatalf("pair %d = %v, want [%d %d]", i, resp.Pairs[i], p.I, p.J)
 		}
 	}
-	if resp.Stats.Pairs != len(want) || resp.Stats.JoinBlocks < 1 {
-		t.Fatalf("stats pairs=%d joinBlocks=%d, want %d/≥1", resp.Stats.Pairs, resp.Stats.JoinBlocks, len(want))
+	if resp.Stats.Pairs != len(want) || resp.Stats.JoinTiles < 1 {
+		t.Fatalf("stats pairs=%d joinTiles=%d, want %d/≥1", resp.Stats.Pairs, resp.Stats.JoinTiles, len(want))
 	}
 
 	// Limit trims to the (i, j)-ascending prefix and flags the cut.

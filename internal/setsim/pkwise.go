@@ -35,6 +35,10 @@ type pkScratch struct {
 	boxes   core.Boxes
 	cnt     []int
 	t       []float64
+	// filter is the pooled chain filter, reconfigured in place per
+	// search so the hot path allocates neither the Filter nor its
+	// prefix-sum array.
+	filter  core.Filter
 	results []int
 	// sims holds the exact similarity of each entry of results,
 	// populated only on the SearchSim path.
@@ -230,8 +234,9 @@ func (db *PKWiseDB) search(q tokenset.Set, chainLength int, verify, wantSim bool
 	if !ok {
 		return nil, nil, st, nil
 	}
-	// The Filter copies the thresholds out of plan.t at construction.
-	filter := core.NewIntegerReduction(plan.t, l, core.GE)
+	// The pooled Filter copies the thresholds out of plan.t on reset.
+	s.filter.ResetIntegerReduction(plan.t, l, core.GE)
+	filter := &s.filter
 	lo, hi := cfg.sizeBounds(len(q))
 
 	// Count class overlaps between prefixes via the inverted index.
@@ -290,6 +295,90 @@ func (db *PKWiseDB) search(q tokenset.Set, chainLength int, verify, wantSim bool
 	out := pairs.SortedIDs(results)
 	st.Results = len(out)
 	return out, nil, st, nil
+}
+
+// SearchRangeAppend runs the similarity search restricted to ids in
+// [rlo, rhi), appending the qualifying ids in ascending order to dst
+// and accumulating statistics into st. It is the join engine's per-tile
+// probe: posting lists are ascending-id by construction, so the
+// restriction costs two binary searches per probed list. skipVerify
+// stops after candidate generation, mirroring CountCandidates.
+func (db *PKWiseDB) SearchRangeAppend(q tokenset.Set, chainLength int, skipVerify bool, rlo, rhi int, dst []int64, st *Stats) ([]int64, error) {
+	if !q.Valid() {
+		return dst, fmt.Errorf("setsim: query set is not sorted/deduplicated")
+	}
+	if rlo < 0 {
+		rlo = 0
+	}
+	if rhi > len(db.sets) {
+		rhi = len(db.sets)
+	}
+	if rlo >= rhi {
+		return dst, nil
+	}
+	cfg := db.cfg
+	m := cfg.M
+	l := chainLength
+	if l < 1 {
+		l = 1
+	}
+	if l > m {
+		l = m
+	}
+	s := db.getScratch()
+	defer db.putScratch(s)
+	plan, ok := db.plan(q, s)
+	if !ok {
+		return dst, nil
+	}
+	s.filter.ResetIntegerReduction(plan.t, l, core.GE)
+	filter := &s.filter
+	lo, hi := cfg.sizeBounds(len(q))
+	wlo, whi := int32(rlo), int32(rhi)
+
+	counts := s.counts
+	touched := s.touched
+	for _, tok := range plan.q[:plan.pq] {
+		k := cfg.classOf(tok)
+		post := db.postings[tok]
+		a, _ := slices.BinarySearch(post, wlo)
+		b, _ := slices.BinarySearch(post, whi)
+		post = post[a:b]
+		st.Probes += len(post)
+		for _, id := range post {
+			sz := len(db.sets[id])
+			if sz < lo || sz > hi {
+				continue
+			}
+			base := int(id) * (m - 1)
+			if countsRowEmpty(counts[base : base+m-1]) {
+				touched = append(touched, id)
+			}
+			counts[base+k-1]++
+		}
+	}
+	s.touched = touched
+	st.Touched += len(touched)
+
+	boxes := s.boxes
+	var bv core.BoxValues = boxes
+	results := s.results
+	for _, id := range touched {
+		base := int(id) * (m - 1)
+		if db.decide(plan, id, counts[base:base+m-1], boxes, bv, filter, l, st) && !skipVerify {
+			x := db.sets[id]
+			if tokenset.OverlapAtLeast(x, q, cfg.pairThreshold(len(x), len(q))) {
+				results = append(results, int(id))
+			}
+		}
+	}
+	s.results = results
+	slices.Sort(results)
+	st.Results += len(results)
+	for _, id := range results {
+		dst = append(dst, int64(id))
+	}
+	return dst, nil
 }
 
 // decide applies the per-object filtering decision shared by the

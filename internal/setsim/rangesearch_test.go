@@ -1,0 +1,47 @@
+package setsim
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestSearchRangeAppendParity: the range search returns exactly the
+// full search's results restricted to [lo, hi), appended to dst in
+// ascending order — the contract the engine's tiled join builds on.
+func TestSearchRangeAppendParity(t *testing.T) {
+	sets := dataset.DBLP(200, 32)
+	cfg := Config{Measure: Jaccard, Tau: 0.8, M: 5}
+	db, err := NewPKWiseDB(sets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := [][2]int{{0, 200}, {0, 0}, {57, 140}, {140, 57}, {-5, 90}, {150, 999}}
+	for qi := 0; qi < 20; qi++ {
+		q := sets[qi*9]
+		full, _, err := db.Search(q, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range windows {
+			var st Stats
+			got, err := db.SearchRangeAppend(q, 2, false, w[0], w[1], []int64{-7}, &st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[0] != -7 {
+				t.Fatalf("window %v: dst prefix clobbered", w)
+			}
+			var want []int64
+			for _, id := range full {
+				if id >= w[0] && id < w[1] {
+					want = append(want, int64(id))
+				}
+			}
+			if !slices.Equal(got[1:], want) {
+				t.Fatalf("q=%d window %v: got %v, want %v", qi, w, got[1:], want)
+			}
+		}
+	}
+}

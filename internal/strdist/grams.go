@@ -90,7 +90,18 @@ func (d *GramDict) Extract(s string) []Gram {
 	if n <= 0 {
 		return nil
 	}
-	grams := make([]Gram, 0, n)
+	return d.ExtractAppend(make([]Gram, 0, n), s)
+}
+
+// ExtractAppend is Extract writing into dst (reusing its capacity)
+// instead of allocating a fresh slice; the result aliases dst's
+// storage. It exists for pooled per-search scratch on the join path.
+func (d *GramDict) ExtractAppend(dst []Gram, s string) []Gram {
+	grams := dst[:0]
+	n := len(s) - d.kappa + 1
+	if n <= 0 {
+		return grams
+	}
 	unknown := int32(-1)
 	// The unknown-gram table is only materialized when a gram misses
 	// the dictionary; queries drawn from the indexed corpus never pay
@@ -138,19 +149,29 @@ func Prefix(sorted []Gram, kappa, tau int) []Gram {
 // τ+1 disjoint grams; shorter prefixes may yield fewer, in which case
 // the caller must fall back to direct verification.
 func SelectPivotal(prefix []Gram, kappa, tau int) []Gram {
-	byPos := append([]Gram(nil), prefix...)
+	pivotal, _ := SelectPivotalAppend(nil, make([]Gram, 0, tau+1), prefix, kappa, tau)
+	return pivotal
+}
+
+// SelectPivotalAppend is SelectPivotal using caller-provided scratch:
+// byPos receives the position-sorted copy of the prefix and dst the
+// chosen grams, both reusing their capacity. The returned pivotal
+// slice aliases dst; the grown byPos comes back so the caller can keep
+// it pooled.
+func SelectPivotalAppend(byPos, dst, prefix []Gram, kappa, tau int) (pivotal, byPosOut []Gram) {
+	byPos = append(byPos[:0], prefix...)
 	slices.SortFunc(byPos, func(a, b Gram) int { return int(a.Pos) - int(b.Pos) })
-	pivotal := make([]Gram, 0, tau+1)
+	dst = dst[:0]
 	lastEnd := int32(-1)
 	for _, g := range byPos {
 		if g.Pos <= lastEnd {
 			continue
 		}
-		pivotal = append(pivotal, g)
+		dst = append(dst, g)
 		lastEnd = g.Pos + int32(kappa) - 1
-		if len(pivotal) == tau+1 {
+		if len(dst) == tau+1 {
 			break
 		}
 	}
-	return pivotal
+	return dst, byPos
 }

@@ -1,0 +1,53 @@
+package strdist
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestSearchRangeAppendParity: the range search returns exactly the
+// full search's results restricted to [lo, hi), appended to dst in
+// ascending order, for the Pivotal baseline and the Ring filter alike
+// — the contract the engine's tiled join builds on.
+func TestSearchRangeAppendParity(t *testing.T) {
+	strs := dataset.IMDB(200, 33)
+	dict, err := BuildGramDict(strs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewDB(strs, dict, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := [][2]int{{0, 200}, {0, 0}, {57, 140}, {140, 57}, {-5, 90}, {150, 999}}
+	for _, opt := range []Options{PivotalOptions(), RingOptions(3)} {
+		for qi := 0; qi < 20; qi++ {
+			q := strs[qi*9]
+			full, _, err := db.Search(q, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range windows {
+				var st Stats
+				got, err := db.SearchRangeAppend(q, opt, w[0], w[1], []int64{-7}, &st)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got[0] != -7 {
+					t.Fatalf("window %v: dst prefix clobbered", w)
+				}
+				var want []int64
+				for _, id := range full {
+					if id >= w[0] && id < w[1] {
+						want = append(want, int64(id))
+					}
+				}
+				if !slices.Equal(got[1:], want) {
+					t.Fatalf("ring=%v q=%d window %v: got %v, want %v", opt.Ring, qi, w, got[1:], want)
+				}
+			}
+		}
+	}
+}

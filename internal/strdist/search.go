@@ -105,7 +105,13 @@ type strScratch struct {
 	qMasks    []uint64
 	qPosMasks []uint64
 	boxVal    []int
-	results   []int
+	// qGrams/qByPos/qPiv hold the query's gram extraction and pivotal
+	// selection on the SearchRangeAppend path, where the per-row
+	// allocations of Extract/SelectPivotal would dominate join cost.
+	qGrams  []Gram
+	qByPos  []Gram
+	qPiv    []Gram
+	results []int
 	// dists holds the verified edit distance of each entry of results,
 	// populated only on the SearchDist path.
 	dists []int
@@ -122,6 +128,9 @@ func (db *DB) putScratch(s *strScratch) {
 	s.marked = s.marked[:0]
 	s.qMasks = s.qMasks[:0]
 	s.qPosMasks = s.qPosMasks[:0]
+	s.qGrams = s.qGrams[:0]
+	s.qByPos = s.qByPos[:0]
+	s.qPiv = s.qPiv[:0]
 	s.results = s.results[:0]
 	s.dists = s.dists[:0]
 	db.scratch.Put(s)
@@ -415,6 +424,217 @@ func (db *DB) search(q string, opt Options, wantDist bool) ([]int, []int, Stats,
 	}
 
 	return finishSearch(s, &st, wantDist)
+}
+
+// SearchRangeAppend runs the threshold search restricted to ids in
+// [lo, hi), appending the qualifying ids in ascending order to dst and
+// accumulating statistics into st. It is the join engine's per-tile
+// probe: postings are ascending-id by construction, so the restriction
+// costs two binary searches per probed list, and the query-side gram
+// extraction and pivotal selection reuse pooled scratch instead of
+// allocating per row.
+func (db *DB) SearchRangeAppend(q string, opt Options, lo, hi int, dst []int64, st *Stats) ([]int64, error) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(db.strs) {
+		hi = len(db.strs)
+	}
+	if lo >= hi {
+		return dst, nil
+	}
+	tau, kappa := db.tau, db.kappa
+	vtau := tau
+	if opt.VerifyTau > 0 && opt.VerifyTau < tau {
+		vtau = opt.VerifyTau
+	}
+	m := tau + 1
+	l := opt.ChainLength
+	if l < 1 {
+		l = 1
+	}
+	if l > m {
+		l = m
+	}
+
+	s := db.getScratch()
+	defer db.putScratch(s)
+	qStrMask := charMask(q)
+	verify := func(id int32) {
+		if opt.SkipVerify {
+			return
+		}
+		if contentLowerBound(db.strMasks[id], qStrMask) > vtau {
+			return
+		}
+		if EditDistanceWithin(db.strs[id], q, vtau) >= 0 {
+			s.results = append(s.results, int(id))
+		}
+	}
+
+	wlo, whi := int32(lo), int32(hi)
+	sa, _ := slices.BinarySearch(db.short, wlo)
+	sb, _ := slices.BinarySearch(db.short, whi)
+	for _, id := range db.short[sa:sb] {
+		if diff(len(db.strs[id]), len(q)) <= vtau {
+			st.Fallback++
+			verify(id)
+		}
+	}
+
+	s.qGrams = db.dict.ExtractAppend(s.qGrams, q)
+	qPrefix := Prefix(s.qGrams, kappa, tau)
+	s.qPiv, s.qByPos = SelectPivotalAppend(s.qByPos, s.qPiv, qPrefix, kappa, tau)
+	qPivotal := s.qPiv
+	if len(qPrefix) < kappa*tau+1 || len(qPivotal) < tau+1 {
+		// Degenerate query: scan the id range with the length filter.
+		for id := lo; id < hi; id++ {
+			if db.pivotal[id] == nil {
+				continue // already handled via short
+			}
+			if diff(len(db.strs[id]), len(q)) <= vtau {
+				st.Fallback++
+				verify(int32(id))
+			}
+		}
+		return finishRange(s, dst, st), nil
+	}
+	qLast := qPrefix[len(qPrefix)-1].ID
+	for _, g := range qPivotal {
+		s.qMasks = append(s.qMasks, charMask(q[g.Pos:g.Pos+int32(kappa)]))
+	}
+	qPivMasks := s.qMasks
+	if opt.Ring {
+		s.qPosMasks = appendPosMasks(s.qPosMasks[:0], q, db.winLen)
+	}
+	qPosMasks := s.qPosMasks
+
+	processed := s.processed
+	if cap(s.boxVal) < m {
+		s.boxVal = make([]int, m)
+	}
+	boxVal := s.boxVal[:m]
+	decide := func(id int32) {
+		if processed[id] == 1 {
+			return
+		}
+		processed[id] = 1
+		s.marked = append(s.marked, id)
+		x := db.strs[id]
+		if diff(len(x), len(q)) > vtau {
+			return
+		}
+		st.Cand1++
+		var pivotal []Gram
+		var masks []uint64
+		var text, gramSrc string
+		var caseA bool
+		if db.lastPrefix[id] <= qLast {
+			pivotal, masks, text, gramSrc = db.pivotal[id], db.pivMasks[id], q, x
+			caseA = true
+		} else {
+			pivotal, masks, text, gramSrc = qPivotal, qPivMasks, x, q
+		}
+		if opt.Ring {
+			for j := 0; j < m; j++ {
+				st.BoxChecks++
+				if caseA {
+					boxVal[j] = minGramBoxLBMasks(masks[j], kappa, int(pivotal[j].Pos), qPosMasks, len(q), db.winLen, tau)
+				} else {
+					boxVal[j] = minGramBoxLBText(masks[j], kappa, int(pivotal[j].Pos), text, db.winLen, tau)
+				}
+			}
+			viable := false
+			for i := 0; i < m && !viable; {
+				viable = true
+				sum, fail := 0, 0
+				for lp := 1; lp <= l; lp++ {
+					j := i + lp - 1
+					if j >= m {
+						j -= m
+					}
+					sum += boxVal[j]
+					if sum*m > lp*tau {
+						viable, fail = false, lp
+						break
+					}
+				}
+				if !viable {
+					i += fail
+				}
+			}
+			if !viable {
+				return
+			}
+		} else {
+			sum := 0
+			for j := 0; j < m; j++ {
+				st.BoxChecks++
+				g := pivotal[j]
+				sum += minGramEditExact(gramSrc[g.Pos:g.Pos+int32(kappa)], int(g.Pos), text, tau)
+				if sum > tau {
+					return
+				}
+			}
+		}
+		st.Cand2++
+		verify(id)
+	}
+
+	for _, qg := range qPrefix {
+		postings := windowPiv(db.pivIdx[qg.ID], wlo, whi)
+		st.Probes += len(postings)
+		for _, pe := range postings {
+			if db.lastPrefix[pe.id] > qLast {
+				continue
+			}
+			if diff(int(pe.pos), int(qg.Pos)) > tau {
+				continue
+			}
+			decide(pe.id)
+		}
+	}
+	for _, qg := range qPivotal {
+		postings := windowPre(db.preIdx[qg.ID], wlo, whi)
+		st.Probes += len(postings)
+		for _, pe := range postings {
+			if db.lastPrefix[pe.id] <= qLast {
+				continue
+			}
+			if diff(int(pe.pos), int(qg.Pos)) > tau {
+				continue
+			}
+			decide(pe.id)
+		}
+	}
+	return finishRange(s, dst, st), nil
+}
+
+// windowPiv returns the subrange of the ascending-id pivotal posting
+// list whose ids fall in [lo, hi).
+func windowPiv(post []pivPosting, lo, hi int32) []pivPosting {
+	a, _ := slices.BinarySearchFunc(post, lo, func(p pivPosting, id int32) int { return int(p.id) - int(id) })
+	b, _ := slices.BinarySearchFunc(post, hi, func(p pivPosting, id int32) int { return int(p.id) - int(id) })
+	return post[a:b]
+}
+
+// windowPre returns the subrange of the ascending-id prefix posting
+// list whose ids fall in [lo, hi).
+func windowPre(post []prePosting, lo, hi int32) []prePosting {
+	a, _ := slices.BinarySearchFunc(post, lo, func(p prePosting, id int32) int { return int(p.id) - int(id) })
+	b, _ := slices.BinarySearchFunc(post, hi, func(p prePosting, id int32) int { return int(p.id) - int(id) })
+	return post[a:b]
+}
+
+// finishRange sorts the pooled result buffer and appends it, widened to
+// int64, to dst.
+func finishRange(s *strScratch, dst []int64, st *Stats) []int64 {
+	slices.Sort(s.results)
+	st.Results += len(s.results)
+	for _, id := range s.results {
+		dst = append(dst, int64(id))
+	}
+	return dst
 }
 
 // finishSearch detaches the pooled result buffers: sorted ids on the

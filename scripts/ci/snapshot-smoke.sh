@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# snapshot-smoke.sh — the persistence seam end to end through real
+# processes: build an index in one daemon, persist it via POST
+# /v1/snapshot, kill the daemon, boot a fresh one that loads from the
+# file, and assert readiness flips and a canary query answers with
+# exactly the ids the pre-snapshot run produced.
+#
+# Expects ./pigeonringd to be built (see $PIGEONRINGD in
+# with-daemon.sh). Self-dispatching: with-daemon.sh re-invokes this
+# script with a phase argument while the daemon it booted is healthy.
+set -euo pipefail
+addr=127.0.0.1:18090
+here=$(dirname "$0")
+
+case "${1-}" in
+save)
+  curl -sf -X POST "http://$addr/v1/load" \
+    -d '{"problem":"hamming","n":500,"shards":2}' >/dev/null
+  curl -sf -X POST "http://$addr/v1/search" \
+    -d '{"problem":"hamming","queryId":3}' | jq -c .ids >before.json
+  bytes=$(curl -sf -X POST "http://$addr/v1/snapshot" \
+    -d '{"problem":"hamming"}' | jq .bytes)
+  [ "$bytes" -gt 0 ] || { echo "snapshot wrote $bytes bytes" >&2; exit 1; }
+  [ -s snaps/hamming.snap ] || { echo "snaps/hamming.snap missing" >&2; exit 1; }
+  exit 0
+  ;;
+restore)
+  code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/v1/readyz")
+  [ "$code" = "503" ] || { echo "readyz before reload: $code, want 503" >&2; exit 1; }
+  curl -sf -X POST "http://$addr/v1/load" -d '{"snapshot":"hamming.snap"}' >/dev/null
+  curl -sf "http://$addr/v1/readyz" >/dev/null
+  curl -sf -X POST "http://$addr/v1/search" \
+    -d '{"problem":"hamming","queryId":3}' | jq -c .ids >after.json
+  diff before.json after.json || {
+    echo "canary query diverged after snapshot reload" >&2
+    exit 1
+  }
+  exit 0
+  ;;
+esac
+
+mkdir -p snaps
+"$here/with-daemon.sh" "$addr" daemon-snapshot-save.log -snapshot-dir snaps -- "$0" save
+"$here/with-daemon.sh" "$addr" daemon-snapshot-restore.log -snapshot-dir snaps -- "$0" restore

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# with-daemon.sh — boot pigeonringd, wait for health, run a command,
+# kill the daemon. The shared harness of the CI smoke jobs: the boot /
+# health-poll / teardown dance lives here once, and the daemon's
+# stderr is appended to a log file the jobs upload when they fail.
+#
+#   with-daemon.sh <addr> <logfile> [daemon flag...] -- <cmd> [arg...]
+#
+# The daemon binary is ./pigeonringd unless $PIGEONRINGD overrides it.
+# The command runs once the daemon answers /v1/healthz on <addr>;
+# whatever it returns, the daemon is killed and reaped before this
+# script exits with the command's status.
+set -euo pipefail
+
+if [ $# -lt 4 ]; then
+  echo "usage: $0 <addr> <logfile> [daemon flag...] -- <cmd> [arg...]" >&2
+  exit 2
+fi
+addr=$1
+log=$2
+shift 2
+flags=()
+while [ $# -gt 0 ] && [ "$1" != "--" ]; do
+  flags+=("$1")
+  shift
+done
+if [ $# -eq 0 ]; then
+  echo "$0: missing -- separator before command" >&2
+  exit 2
+fi
+shift
+
+"${PIGEONRINGD:-./pigeonringd}" -addr "$addr" "${flags[@]}" 2>>"$log" &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true; wait "$pid" 2>/dev/null || true' EXIT
+
+up=""
+for _ in $(seq 1 50); do
+  if curl -sf "http://$addr/v1/healthz" >/dev/null 2>&1; then
+    up=1
+    break
+  fi
+  sleep 0.2
+done
+if [ -z "$up" ]; then
+  echo "$0: daemon on $addr not healthy after 10s; its stderr:" >&2
+  cat "$log" >&2 || true
+  exit 1
+fi
+
+"$@"
