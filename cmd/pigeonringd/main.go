@@ -9,6 +9,7 @@
 //	pigeonringd [-addr :8080] [-workers 0] [-search-timeout 0]
 //	            [-metrics=true] [-slow-query-ms 0] [-pprof-addr ""]
 //	            [-snapshot-dir ""] [-max-k 1024]
+//	            [-coordinator -replicas host:port,... [-replica-timeout 30s]]
 //
 // Quickstart:
 //
@@ -56,6 +57,19 @@
 // (see the README's Persistence section). Empty (the default) leaves
 // both endpoints answering 501.
 //
+// Cluster mode: -coordinator turns the process into a coordinator
+// that serves the same /v1/* surface but owns no indexes, scattering
+// searches and joins over the replica daemons named by -replicas
+// (comma-separated base URLs). Loads broadcast to every replica;
+// corpus identity is verified by snapshot hash at attach and on every
+// scattered call; a replica that dies mid-join is retried elsewhere
+// under -replica-timeout per call. See the README's "Cluster mode".
+//
+//	pigeonringd -addr :8080 &
+//	pigeonringd -addr :8081 &
+//	pigeonringd -addr :8090 -coordinator \
+//	    -replicas localhost:8080,localhost:8081
+//
 // The process shuts down gracefully on SIGINT/SIGTERM, draining
 // in-flight requests before exiting.
 package main
@@ -69,9 +83,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 )
 
@@ -87,6 +103,9 @@ func main() {
 	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof, e.g. localhost:6060 (empty = off)")
 	snapshotDir := flag.String("snapshot-dir", "", "directory for POST /v1/snapshot containers and snapshot reloads (empty = persistence off)")
 	maxK := flag.Int("max-k", 0, "cap on the \"k\" of top-k search requests (0 = default of 1024)")
+	coordinator := flag.Bool("coordinator", false, "serve as a coordinator scattering over -replicas instead of owning indexes")
+	replicas := flag.String("replicas", "", "comma-separated replica base URLs for -coordinator, e.g. localhost:8080,localhost:8081")
+	replicaTimeout := flag.Duration("replica-timeout", 0, "per-replica-call deadline in coordinator mode; a timed-out call retries elsewhere (0 = 30s)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -110,19 +129,39 @@ func main() {
 		}()
 	}
 
-	if *snapshotDir != "" {
-		if err := os.MkdirAll(*snapshotDir, 0o755); err != nil {
-			log.Fatalf("snapshot dir: %v", err)
+	var handler http.Handler
+	if *coordinator {
+		urls := strings.Split(*replicas, ",")
+		coord, err := cluster.New(cluster.Config{
+			Replicas:       urls,
+			Timeout:        *replicaTimeout,
+			DisableMetrics: !*metrics,
+		})
+		if err != nil {
+			log.Fatalf("coordinator: %v", err)
 		}
+		// Best-effort attach: replicas that are still starting (or
+		// empty) are fine — the first request re-attaches lazily.
+		if err := coord.Attach(ctx); err != nil {
+			log.Printf("coordinator: initial attach: %v (will retry on first request)", err)
+		}
+		log.Printf("coordinator over %d replicas: %s", len(urls), *replicas)
+		handler = coord.Handler()
+	} else {
+		if *snapshotDir != "" {
+			if err := os.MkdirAll(*snapshotDir, 0o755); err != nil {
+				log.Fatalf("snapshot dir: %v", err)
+			}
+		}
+		handler = server.NewFromConfig(server.Config{
+			Workers:            *workers,
+			SearchTimeout:      *searchTimeout,
+			DisableMetrics:     !*metrics,
+			SlowQueryThreshold: time.Duration(*slowQueryMS) * time.Millisecond,
+			SnapshotDir:        *snapshotDir,
+			MaxK:               *maxK,
+		}).Handler()
 	}
-	handler := server.NewFromConfig(server.Config{
-		Workers:            *workers,
-		SearchTimeout:      *searchTimeout,
-		DisableMetrics:     !*metrics,
-		SlowQueryThreshold: time.Duration(*slowQueryMS) * time.Millisecond,
-		SnapshotDir:        *snapshotDir,
-		MaxK:               *maxK,
-	}).Handler()
 
 	srv := &http.Server{
 		Addr:              *addr,

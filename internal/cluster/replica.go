@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// replicaError is a replica's non-2xx answer, carrying enough to
+// decide between retrying elsewhere and passing the refusal through
+// to the client (see retryable).
+type replicaError struct {
+	url    string
+	status int
+	code   string // machine-readable "code" field of the error payload
+	body   string
+}
+
+func (e *replicaError) Error() string {
+	return fmt.Sprintf("replica %s: status %d: %s", e.url, e.status, e.body)
+}
+
+// retryable decides whether a failed replica call is the replica's
+// fault (dead, overloaded, restarted empty, serving a different
+// corpus — try another replica) or the request's fault (malformed,
+// out of range — every replica would refuse it the same way).
+func retryable(err error) bool {
+	var re *replicaError
+	if errors.As(err, &re) {
+		switch {
+		case re.status >= 500:
+			return true
+		case re.status == http.StatusNotFound:
+			// The replica restarted without its corpus; another
+			// replica may still hold it.
+			return true
+		case re.status == http.StatusConflict && re.code == "corpus_mismatch":
+			// The replica reloaded a different corpus.
+			return true
+		}
+		return false
+	}
+	// Transport errors (connection refused, reset, EOF mid-body) and
+	// per-call timeouts are replica failures. The caller separately
+	// checks its own context so a client disconnect is not retried.
+	return true
+}
+
+// do runs one JSON round-trip against a replica. A non-2xx status
+// becomes a *replicaError; out (when non-nil) receives the decoded
+// 2xx body.
+func (c *Coordinator) do(ctx context.Context, rep *replica, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, rep.url+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		re := &replicaError{url: rep.url, status: resp.StatusCode, body: string(raw)}
+		var payload struct {
+			Code string `json:"code"`
+		}
+		if json.Unmarshal(raw, &payload) == nil {
+			re.code = payload.Code
+		}
+		return re
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return fmt.Errorf("replica %s: decoding %s response: %w", rep.url, path, err)
+		}
+	}
+	return nil
+}
+
+// getJSON is do without a body, under the caller's context.
+func (c *Coordinator) getJSON(ctx context.Context, rep *replica, path string, out any) error {
+	return c.do(ctx, rep, http.MethodGet, path, nil, out)
+}
+
+// pick returns the next target replica for an attempt: up replicas
+// in round-robin order first; when none is marked up, down replicas
+// are probed in the same rotation (a recovered replica revives on its
+// first success) instead of failing without trying.
+func (c *Coordinator) pick() *replica {
+	start := int(c.rr.Add(1))
+	n := len(c.replicas)
+	for i := 0; i < n; i++ {
+		rep := c.replicas[(start+i)%n]
+		if rep.up.Load() {
+			return rep
+		}
+	}
+	return c.replicas[start%n]
+}
+
+// withReplica runs one work item with failover: pick a replica, POST,
+// and on a retryable failure mark it down, back off exponentially and
+// re-dispatch to the next pick, up to the attempt budget. Returns the
+// last error — ErrNoReplicasUp-wrapped when the budget ran out on
+// replica failures — or the first non-retryable one.
+func (c *Coordinator) withReplica(ctx context.Context, path string, in, out any) error {
+	var lastErr error
+	for attempt := 0; attempt < c.attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if attempt > 0 {
+			c.met.tileRetries.Inc()
+			if err := sleepCtx(ctx, backoff(c.baseWait, attempt-1)); err != nil {
+				return err
+			}
+		}
+		rep := c.pick()
+		rep.dispatched.Inc()
+		rctx, cancel := context.WithTimeout(ctx, c.timeout)
+		err := c.do(rctx, rep, http.MethodPost, path, in, out)
+		cancel()
+		if err == nil {
+			rep.setUp(true)
+			return nil
+		}
+		// A failure caused by the caller's own context ending is not
+		// the replica's fault: don't mark it down, don't retry.
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if !retryable(err) {
+			return err
+		}
+		rep.setUp(false)
+		lastErr = err
+	}
+	return fmt.Errorf("%w: %d attempts exhausted, last: %v", ErrNoReplicasUp, c.attempts, lastErr)
+}
+
+// backoff is the exponential retry delay: base·2^attempt, capped 1s.
+func backoff(base time.Duration, attempt int) time.Duration {
+	d := base << min(attempt, 10)
+	if d > time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

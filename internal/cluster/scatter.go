@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"slices"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/parallel"
+	"repro/internal/server"
+)
+
+// ErrNotLoaded reports that no replica holds an index for the
+// requested problem.
+var ErrNotLoaded = errors.New("cluster: no index loaded on the replicas")
+
+// mergeWork folds one leg's engine statistics into the scatter's
+// aggregate: the work counters add up across replicas exactly as they
+// do across shards; wall-clock totals are replaced by the scatter's
+// own elapsed time by the caller.
+func mergeWork(dst *engine.Stats, s engine.Stats) {
+	dst.Candidates += s.Candidates
+	dst.Probes += s.Probes
+	dst.BoxChecks += s.BoxChecks
+	dst.FilterNS += s.FilterNS
+	dst.VerifyNS += s.VerifyNS
+	dst.TotalNS += s.TotalNS
+	dst.Limited = dst.Limited || s.Limited
+}
+
+// splitRanges cuts [0, n) into at most parts contiguous, near-even,
+// non-empty ranges.
+func splitRanges(n, parts int) [][2]int {
+	if parts > n {
+		parts = n
+	}
+	out := make([][2]int, 0, parts)
+	for i := 0; i < parts; i++ {
+		lo, hi := i*n/parts, (i+1)*n/parts
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}
+
+// Search scatters one threshold search across the replicas: the id
+// space [0, n) splits into one contiguous range per replica, each
+// range resolves on whichever replica is up (stamped with the corpus
+// hash), and the ascending per-range id lists concatenate in range
+// order — byte-identical to a single node answering the same request.
+// Requests a scatter cannot merge (top-k, timings, explicit ranges)
+// belong on the forwarding path, not here.
+func (c *Coordinator) Search(ctx context.Context, req server.SearchRequest) ([]int64, engine.Stats, error) {
+	if req.K > 0 || req.Timings || req.RangeLo != nil || req.RangeHi != nil {
+		return nil, engine.Stats{}, fmt.Errorf("cluster: request cannot be scattered; forward it to one replica")
+	}
+	info, ok, err := c.corpus(ctx, req.Problem)
+	if err != nil {
+		return nil, engine.Stats{}, err
+	}
+	if !ok {
+		return nil, engine.Stats{}, fmt.Errorf("%w: %s", ErrNotLoaded, req.Problem)
+	}
+	start := time.Now()
+	ranges := splitRanges(info.N, len(c.replicas))
+	ids := make([][]int64, len(ranges))
+	stats := make([]engine.Stats, len(ranges))
+	err = parallel.ForEachCtx(ctx, len(ranges), len(ranges), func(jobCtx context.Context, i int) error {
+		leg := req
+		leg.RangeLo, leg.RangeHi = &ranges[i][0], &ranges[i][1]
+		leg.CorpusHash = info.SnapshotHash
+		var resp server.SearchResponse
+		if err := c.withReplica(jobCtx, "/v1/search", &leg, &resp); err != nil {
+			return err
+		}
+		ids[i], stats[i] = resp.IDs, resp.Stats
+		return nil
+	})
+	if err != nil {
+		return nil, engine.Stats{}, err
+	}
+	var agg engine.Stats
+	total := 0
+	for i := range ids {
+		mergeWork(&agg, stats[i])
+		total += len(ids[i])
+	}
+	out := make([]int64, 0, total)
+	for _, part := range ids {
+		out = append(out, part...)
+	}
+	if req.Limit > 0 && len(out) > req.Limit {
+		out = out[:req.Limit]
+		agg.Limited = true
+	}
+	agg.Results = len(out)
+	agg.WallNS = time.Since(start).Nanoseconds()
+	c.met.searchScatter.Observe(time.Since(start).Seconds())
+	return out, agg, nil
+}
+
+// Join scatters one self-join across the replicas as 2-D tiles — the
+// same upper-triangle decomposition the single-node engine schedules
+// across goroutines, dispatched over a bounded in-flight window with
+// per-tile failover. The merged, (i, j)-ascending pair list is
+// byte-identical to the single-node join whatever the replica count,
+// tile size, or mid-join deaths.
+func (c *Coordinator) Join(ctx context.Context, req server.JoinRequest) ([][2]int64, engine.Stats, error) {
+	if req.Timings {
+		return nil, engine.Stats{}, fmt.Errorf("cluster: a timings join cannot be scattered; forward it to one replica")
+	}
+	info, ok, err := c.corpus(ctx, req.Problem)
+	if err != nil {
+		return nil, engine.Stats{}, err
+	}
+	if !ok {
+		return nil, engine.Stats{}, fmt.Errorf("%w: %s", ErrNotLoaded, req.Problem)
+	}
+	start := time.Now()
+	// Auto tile sizing targets the scatter's consumers: enough tiles
+	// to keep every replica's in-flight window fed, same policy as
+	// the in-process pool's 2-tiles-per-worker.
+	tiles := engine.EnumerateTiles(info.N, req.TileSize, c.inflight)
+	tilePairs := make([][][2]int64, len(tiles))
+	tileStats := make([]engine.Stats, len(tiles))
+	err = parallel.ForEachCtx(ctx, len(tiles), c.inflight, func(jobCtx context.Context, t int) error {
+		tl := tiles[t]
+		treq := server.TileRequest{
+			Problem: req.Problem,
+			RowLo:   tl.RowLo, RowHi: tl.RowHi, ColLo: tl.ColLo, ColHi: tl.ColHi,
+			L:          req.L,
+			TimeoutMS:  req.TimeoutMS,
+			SkipVerify: req.SkipVerify,
+			CorpusHash: info.SnapshotHash,
+		}
+		var resp server.JoinResponse
+		if err := c.withReplica(jobCtx, "/v1/join/tile", &treq, &resp); err != nil {
+			return fmt.Errorf("tile rows [%d,%d) cols [%d,%d): %w", tl.RowLo, tl.RowHi, tl.ColLo, tl.ColHi, err)
+		}
+		tilePairs[t], tileStats[t] = resp.Pairs, resp.Stats
+		return nil
+	})
+	if err != nil {
+		return nil, engine.Stats{}, err
+	}
+	var agg engine.Stats
+	total := 0
+	for t := range tiles {
+		mergeWork(&agg, tileStats[t])
+		total += len(tilePairs[t])
+	}
+	out := make([][2]int64, 0, total)
+	for _, ps := range tilePairs {
+		out = append(out, ps...)
+	}
+	slices.SortFunc(out, func(a, b [2]int64) int {
+		if a[0] != b[0] {
+			if a[0] < b[0] {
+				return -1
+			}
+			return 1
+		}
+		switch {
+		case a[1] < b[1]:
+			return -1
+		case a[1] > b[1]:
+			return 1
+		}
+		return 0
+	})
+	if req.Limit > 0 && len(out) > req.Limit {
+		out = out[:req.Limit]
+		agg.Limited = true
+	}
+	agg.Pairs = len(out)
+	agg.Results = len(out)
+	agg.JoinTiles = len(tiles)
+	agg.WallNS = time.Since(start).Nanoseconds()
+	c.met.joinScatter.Observe(time.Since(start).Seconds())
+	return out, agg, nil
+}

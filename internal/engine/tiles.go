@@ -132,8 +132,12 @@ type tileScratch struct {
 // takes the next tile). The merged pairs are sorted ascending by
 // (I, J) and trimmed to opt.Limit — output identical to the former
 // row-block decomposition, and to the sequential backend joins.
-func joinTiles(ctx context.Context, workers int, opt JoinOptions, ranges []idRange, probe rangeProbe) ([]Pair, Stats, error) {
-	start := time.Now()
+// orderedTiles enumerates the upper-triangle tiles over ranges in the
+// schedule order joinTiles dispatches them: descending estimated work,
+// ties broken by (rj, ri) so the order is deterministic. The same
+// order feeds EnumerateTiles, so a remote scheduler dispatches tiles
+// exactly as the in-process pool would pull them.
+func orderedTiles(ranges []idRange) []joinTile {
 	tiles := make([]joinTile, 0, len(ranges)*(len(ranges)+1)/2)
 	for j := range ranges {
 		for i := 0; i <= j; i++ {
@@ -153,6 +157,12 @@ func joinTiles(ctx context.Context, workers int, opt JoinOptions, ranges []idRan
 		}
 		return a.ri - b.ri
 	})
+	return tiles
+}
+
+func joinTiles(ctx context.Context, workers int, opt JoinOptions, ranges []idRange, probe rangeProbe) ([]Pair, Stats, error) {
+	start := time.Now()
+	tiles := orderedTiles(ranges)
 
 	sopt := opt.searchOptions()
 	measure := opt.Timings && !opt.SkipVerify

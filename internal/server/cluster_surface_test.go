@@ -1,0 +1,165 @@
+package server
+
+import (
+	"net/http"
+	"slices"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// Tests for the serving surface a cluster coordinator depends on:
+// corpus hashes as cross-process identity, range-restricted searches,
+// and the /v1/join/tile fragment endpoint with its corpus_mismatch
+// guard.
+
+// TestCorpusHashIdentity: the hash must agree between two processes
+// that built the identical corpus (that is the whole point — attach-
+// time identity verification) and differ when the data differs; it
+// must also be visible on every introspection surface.
+func TestCorpusHashIdentity(t *testing.T) {
+	load := LoadRequest{Problem: "hamming", N: 300, Shards: 2}
+	h1, h2 := newHarness(t), newHarness(t)
+	h1.load(load)
+	h2.load(load)
+
+	hash := func(h *harness) string {
+		var hr HealthResponse
+		if code := h.get("/v1/healthz", &hr); code != http.StatusOK {
+			t.Fatalf("healthz: %d", code)
+		}
+		return hr.Corpora["hamming"]
+	}
+	a, b := hash(h1), hash(h2)
+	if a == "" || a != b {
+		t.Fatalf("identical corpora hash %q vs %q", a, b)
+	}
+
+	h3 := newHarness(t)
+	h3.load(LoadRequest{Problem: "hamming", N: 300, Shards: 2, Seed: 7})
+	if c := hash(h3); c == a {
+		t.Fatalf("different corpus reports the same hash %q", c)
+	}
+	// A different shard layout is a different serving identity too: a
+	// coordinator must not mix tile coordinates across layouts.
+	h4 := newHarness(t)
+	h4.load(LoadRequest{Problem: "hamming", N: 300, Shards: 3})
+	if c := hash(h4); c == a {
+		t.Fatalf("different shard layout reports the same hash %q", c)
+	}
+
+	var ir IndexesResponse
+	h1.get("/v1/indexes", &ir)
+	if len(ir.Indexes) != 1 || ir.Indexes[0].SnapshotHash != a {
+		t.Fatalf("indexes hash %+v, want %q", ir.Indexes, a)
+	}
+	var sr StatsResponse
+	h1.get("/v1/stats", &sr)
+	if sr.Problems["hamming"].SnapshotHash != a {
+		t.Fatalf("stats hash %q, want %q", sr.Problems["hamming"].SnapshotHash, a)
+	}
+}
+
+func TestRangedSearch(t *testing.T) {
+	h := newHarness(t)
+	h.load(LoadRequest{Problem: "hamming", N: 400, Shards: 2})
+	var hr HealthResponse
+	h.get("/v1/healthz", &hr)
+	hash := hr.Corpora["hamming"]
+
+	qid := 3
+	full := h.search(SearchRequest{Problem: "hamming", QueryID: &qid})
+	var got []int64
+	cuts := []int{0, 57, 130, 131, 400}
+	for i := 0; i+1 < len(cuts); i++ {
+		r := h.search(SearchRequest{
+			Problem: "hamming", QueryID: &qid,
+			RangeLo: &cuts[i], RangeHi: &cuts[i+1], CorpusHash: hash,
+		})
+		got = append(got, r.IDs...)
+	}
+	if !sameIDs(got, full.IDs) {
+		t.Fatalf("range concat %v != full search %v", got, full.IDs)
+	}
+
+	lo, hi := 0, 400
+	if code, body := h.post("/v1/search", SearchRequest{
+		Problem: "hamming", QueryID: &qid, RangeLo: &lo, RangeHi: &hi, CorpusHash: "feedfacefeedface",
+	}, nil); code != http.StatusConflict {
+		t.Fatalf("stale corpus hash: status %d body %s, want 409", code, body)
+	}
+	if code, body := h.post("/v1/search", SearchRequest{
+		Problem: "hamming", QueryID: &qid, RangeLo: &lo,
+	}, nil); code != http.StatusBadRequest {
+		t.Fatalf("rangeLo without rangeHi: status %d body %s, want 400", code, body)
+	}
+	if code, body := h.post("/v1/search", SearchRequest{
+		Problem: "hamming", QueryID: &qid, RangeLo: &lo, RangeHi: &hi, K: 3,
+	}, nil); code != http.StatusBadRequest {
+		t.Fatalf("k with range: status %d body %s, want 400", code, body)
+	}
+}
+
+// TestJoinTileUnion: executing every enumerated tile through
+// POST /v1/join/tile and merging must reproduce POST /v1/join — the
+// HTTP half of the scatter contract (the engine half lives in
+// engine/remote_test.go).
+func TestJoinTileUnion(t *testing.T) {
+	h := newHarness(t)
+	resp := h.load(LoadRequest{Problem: "hamming", N: 300, Shards: 2})
+	var hr HealthResponse
+	h.get("/v1/healthz", &hr)
+	hash := hr.Corpora["hamming"]
+
+	var want JoinResponse
+	if code, body := h.post("/v1/join", JoinRequest{Problem: "hamming"}, &want); code != http.StatusOK {
+		t.Fatalf("join: status %d body %s", code, body)
+	}
+	if len(want.Pairs) == 0 {
+		t.Fatal("join produced no pairs; corpus too sparse for the test")
+	}
+
+	var union [][2]int64
+	for _, tl := range engine.EnumerateTiles(resp.N, 70, 4) {
+		var tr JoinResponse
+		code, body := h.post("/v1/join/tile", TileRequest{
+			Problem: "hamming",
+			RowLo:   tl.RowLo, RowHi: tl.RowHi, ColLo: tl.ColLo, ColHi: tl.ColHi,
+			CorpusHash: hash,
+		}, &tr)
+		if code != http.StatusOK {
+			t.Fatalf("tile %+v: status %d body %s", tl, code, body)
+		}
+		union = append(union, tr.Pairs...)
+	}
+	slices.SortFunc(union, func(a, b [2]int64) int {
+		if a[0] != b[0] {
+			if a[0] < b[0] {
+				return -1
+			}
+			return 1
+		}
+		if a[1] != b[1] {
+			if a[1] < b[1] {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+	if !slices.Equal(union, want.Pairs) {
+		t.Fatalf("tile union (%d pairs) != join (%d pairs)", len(union), len(want.Pairs))
+	}
+
+	if code, body := h.post("/v1/join/tile", TileRequest{
+		Problem: "hamming", RowLo: 0, RowHi: 10, ColLo: 0, ColHi: 10,
+		CorpusHash: "feedfacefeedface",
+	}, nil); code != http.StatusConflict {
+		t.Fatalf("stale corpus hash on tile: status %d body %s, want 409", code, body)
+	}
+	if code, body := h.post("/v1/join/tile", TileRequest{
+		Problem: "hamming", RowLo: 0, RowHi: 1000, ColLo: 0, ColHi: 10,
+	}, nil); code != http.StatusBadRequest {
+		t.Fatalf("out-of-range tile: status %d body %s, want 400", code, body)
+	}
+}

@@ -137,6 +137,8 @@ func endpointLabel(r *http.Request) string {
 		return "search_batch"
 	case "/v1/join":
 		return "join"
+	case "/v1/join/tile":
+		return "join_tile"
 	case "/v1/snapshot":
 		return "snapshot"
 	case "/v1/indexes":

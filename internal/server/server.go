@@ -69,6 +69,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
 	"net/http"
@@ -112,6 +113,14 @@ type entry struct {
 	index   engine.Index
 	dataset string
 	buildMS float64
+	// hash is the content address of the loaded corpus: an FNV-64a of
+	// the index's snapshot encoding, which is deterministic (section
+	// keys are sorted, layouts are canonical), so two daemons report
+	// the same hash exactly when they hold byte-identical indexes —
+	// same objects, same τ, same shard layout. A cluster coordinator
+	// compares these hashes before scattering work; see
+	// /v1/healthz "corpora". Empty when the index is not persistable.
+	hash string
 
 	vecs   []bitvec.Vector
 	sets   []tokenset.Set
@@ -224,6 +233,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/search", s.handleSearch)
 	mux.HandleFunc("POST /v1/search/batch", s.handleSearchBatch)
 	mux.HandleFunc("POST /v1/join", s.handleJoin)
+	mux.HandleFunc("POST /v1/join/tile", s.handleJoinTile)
 	mux.HandleFunc("GET /v1/indexes", s.handleIndexes)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
@@ -251,11 +261,29 @@ type HealthResponse struct {
 	Status  string `json:"status"`
 	Ready   bool   `json:"ready"`
 	Indexes int    `json:"indexes"`
+	// Corpora maps each loaded problem to its corpus hash (see
+	// corpusHash) — the identity a cluster coordinator checks before
+	// trusting this daemon with scattered work. Omitted while empty.
+	Corpora map[string]string `json:"corpora,omitempty"`
+}
+
+// corpora snapshots the loaded problem → corpus-hash map.
+func (s *Server) corpora() map[string]string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.entries) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(s.entries))
+	for p, e := range s.entries {
+		out[string(p)] = e.hash
+	}
+	return out
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	ready, n := s.readiness()
-	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Ready: ready, Indexes: n})
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Ready: ready, Indexes: n, Corpora: s.corpora()})
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
@@ -264,7 +292,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if !ready {
 		status = http.StatusServiceUnavailable
 	}
-	writeJSON(w, status, HealthResponse{Status: "ok", Ready: ready, Indexes: n})
+	writeJSON(w, status, HealthResponse{Status: "ok", Ready: ready, Indexes: n, Corpora: s.corpora()})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -553,6 +581,19 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// corpusHash computes an index's content address: FNV-64a over its
+// snapshot encoding. The encoding is deterministic, so the hash
+// identifies the corpus (objects, τ, shard layout) across processes
+// without shipping the snapshot itself. Returns "" for an index that
+// cannot be persisted — such an index has no cluster identity.
+func corpusHash(ix engine.Index) string {
+	h := fnv.New64a()
+	if _, err := engine.WriteSnapshot(ix, h, nil); err != nil {
+		return ""
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
 // shardCount reports how many shards an index fans out over (1 for a
 // plain adapter).
 func shardCount(ix engine.Index) int {
@@ -612,6 +653,7 @@ func (s *Server) install(w http.ResponseWriter, r *http.Request, p engine.Proble
 	}
 	e.met = pm
 	e.hooks = newHooks(pm)
+	e.hash = corpusHash(e.index)
 	pm.indexObjects.Set(float64(e.index.Len()))
 	pm.buildSeconds.Set(e.buildMS / 1e3)
 	pm.shards.Set(float64(shardCount(e.index)))
@@ -842,6 +884,19 @@ type SearchRequest struct {
 	// Timings measures the filter/verify time split (runs candidate
 	// generation twice).
 	Timings bool `json:"timings,omitempty"`
+	// RangeLo/RangeHi restrict the search to ids in [rangeLo, rangeHi)
+	// — the scatter unit of a cluster search: a coordinator partitions
+	// [0, n) across replicas and concatenates the ascending per-range
+	// id lists. Both must be present together; mutually exclusive with
+	// k and timings.
+	RangeLo *int `json:"rangeLo,omitempty"`
+	RangeHi *int `json:"rangeHi,omitempty"`
+	// CorpusHash, when present, must match the loaded index's corpus
+	// hash (see /v1/healthz "corpora"); a mismatch answers 409 with
+	// code "corpus_mismatch". A coordinator stamps it on scattered
+	// requests so a replica serving a stale corpus rejects work
+	// instead of corrupting a merged answer.
+	CorpusHash string `json:"corpusHash,omitempty"`
 }
 
 // SearchResponse carries one query's results.
@@ -947,6 +1002,21 @@ func (req *SearchRequest) options() engine.Options {
 		SkipVerify:  req.SkipVerify,
 		Timings:     req.Timings,
 	}
+}
+
+// checkCorpus enforces a request's corpusHash claim against the entry
+// actually serving, answering 409 {"code":"corpus_mismatch"} itself on
+// disagreement. An absent claim always passes — single-node clients
+// don't know or care about corpus identity.
+func (s *Server) checkCorpus(w http.ResponseWriter, r *http.Request, e *entry, claim string) bool {
+	if claim == "" || claim == e.hash {
+		return true
+	}
+	writeJSON(w, http.StatusConflict, errBody(r, map[string]string{
+		"error": fmt.Sprintf("corpus hash mismatch: request expects %s, this index is %s", claim, e.hash),
+		"code":  "corpus_mismatch",
+	}))
+	return false
 }
 
 // writeInvalidArgument answers a request whose fields are out of range
@@ -1059,8 +1129,25 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if !s.validateK(w, r, req.K, req.Limit, req.SkipVerify, req.Timings) {
 		return
 	}
+	ranged := req.RangeLo != nil || req.RangeHi != nil
+	if ranged {
+		switch {
+		case req.RangeLo == nil || req.RangeHi == nil:
+			writeInvalidArgument(w, r, "rangeLo and rangeHi must be supplied together")
+			return
+		case req.K > 0:
+			writeInvalidArgument(w, r, "k cannot be range-restricted — a top-k answer needs the whole corpus")
+			return
+		case req.Timings:
+			writeInvalidArgument(w, r, "timings is not supported with a range-restricted search")
+			return
+		}
+	}
 	e, p, ok := s.lookup(w, r, req.Problem)
 	if !ok {
+		return
+	}
+	if !s.checkCorpus(w, r, e, req.CorpusHash) {
 		return
 	}
 	q, err := e.query(p, &req)
@@ -1072,6 +1159,20 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	opt := req.options()
 	opt.Hooks = e.hooks
+	if ranged {
+		ids, st, err := engine.SearchRange(ctx, e.index, q, opt, *req.RangeLo, *req.RangeHi)
+		if err != nil {
+			writeSearchError(w, r, e, err)
+			return
+		}
+		e.record(st)
+		s.slow.maybe(requestID(r.Context()), "search", p, e.tau(req.Tau), req.L, req.Limit, st)
+		if ids == nil {
+			ids = []int64{}
+		}
+		writeJSON(w, http.StatusOK, SearchResponse{Problem: string(p), IDs: ids, Stats: st})
+		return
+	}
 	if req.K > 0 {
 		ts, ok := e.index.(engine.TopKSearcher)
 		if !ok {
@@ -1328,6 +1429,75 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, JoinResponse{Problem: string(p), Pairs: wire, Stats: st})
 }
 
+// --- /v1/join/tile -----------------------------------------------------------
+
+// TileRequest asks for one tile of a self-join: the pairs whose larger
+// id lies in [rowLo, rowHi) and whose smaller id lies in [colLo,
+// colHi). It is the RPC unit of a scattered join — a coordinator
+// enumerates the tiles of the corpus's 2-D decomposition and dispatches
+// each one, stamped with the corpus hash, to whichever replica is up.
+type TileRequest struct {
+	Problem string `json:"problem"`
+	RowLo   int    `json:"rowLo"`
+	RowHi   int    `json:"rowHi"`
+	ColLo   int    `json:"colLo"`
+	ColHi   int    `json:"colHi"`
+	// L is the pigeonring chain length applied to every row's search.
+	L int `json:"l,omitempty"`
+	// TimeoutMS bounds the tile; 0 falls back to the server default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// SkipVerify stops every row's search after candidate generation.
+	SkipVerify bool `json:"skipVerify,omitempty"`
+	// CorpusHash asserts the corpus identity the tile coordinates were
+	// computed against; a mismatch answers 409 "corpus_mismatch" (see
+	// SearchRequest.CorpusHash).
+	CorpusHash string `json:"corpusHash,omitempty"`
+}
+
+func (s *Server) handleJoinTile(w http.ResponseWriter, r *http.Request) {
+	var req TileRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.TimeoutMS < 0 {
+		writeError(w, r, http.StatusBadRequest, "timeout_ms must be non-negative")
+		return
+	}
+	e, p, ok := s.lookup(w, r, req.Problem)
+	if !ok {
+		return
+	}
+	if !s.checkCorpus(w, r, e, req.CorpusHash) {
+		return
+	}
+	ctx, cancel := s.searchContext(r, req.TimeoutMS)
+	defer cancel()
+	start := time.Now()
+	pairs, st, err := engine.JoinTileRange(ctx, e.index, engine.TileSpec{
+		RowLo: req.RowLo, RowHi: req.RowHi, ColLo: req.ColLo, ColHi: req.ColHi,
+	}, engine.JoinOptions{
+		ChainLength: req.L,
+		SkipVerify:  req.SkipVerify,
+		Hooks:       e.hooks,
+	})
+	if err != nil {
+		writeSearchError(w, r, e, err)
+		return
+	}
+	// A tile is a join fragment, not a join: it feeds the tile
+	// histogram and the candidate/wall counters but not the joins
+	// counter — only the coordinator's merged join is one join.
+	e.met.joinTileSeconds.Observe(time.Since(start).Seconds())
+	e.met.candidates.Add(int64(st.Candidates))
+	e.met.joinPairs.Add(int64(st.Pairs))
+	e.met.wallNS.Add(st.WallNS)
+	wire := make([][2]int64, len(pairs))
+	for i, pr := range pairs {
+		wire[i] = [2]int64{pr.I, pr.J}
+	}
+	writeJSON(w, http.StatusOK, JoinResponse{Problem: string(p), Pairs: wire, Stats: st})
+}
+
 // --- /v1/indexes -------------------------------------------------------------
 
 // IndexInfo describes one loaded index.
@@ -1338,6 +1508,8 @@ type IndexInfo struct {
 	Tau     float64 `json:"tau"`
 	Shards  int     `json:"shards"`
 	BuildMS float64 `json:"buildMs"`
+	// SnapshotHash is the corpus's content address (see corpusHash).
+	SnapshotHash string `json:"snapshotHash,omitempty"`
 }
 
 // IndexesResponse is the /v1/indexes payload, sorted by problem name.
@@ -1354,12 +1526,13 @@ func (s *Server) handleIndexes(w http.ResponseWriter, r *http.Request) {
 			shards = sh.Shards()
 		}
 		resp.Indexes = append(resp.Indexes, IndexInfo{
-			Problem: string(p),
-			Dataset: e.dataset,
-			N:       e.index.Len(),
-			Tau:     e.index.Tau(),
-			Shards:  shards,
-			BuildMS: e.buildMS,
+			Problem:      string(p),
+			Dataset:      e.dataset,
+			N:            e.index.Len(),
+			Tau:          e.index.Tau(),
+			Shards:       shards,
+			BuildMS:      e.buildMS,
+			SnapshotHash: e.hash,
 		})
 	}
 	s.mu.RUnlock()
@@ -1371,22 +1544,24 @@ func (s *Server) handleIndexes(w http.ResponseWriter, r *http.Request) {
 
 // ProblemStats is the live serving report of one loaded index.
 type ProblemStats struct {
-	Dataset    string  `json:"dataset"`
-	N          int     `json:"n"`
-	Tau        float64 `json:"tau"`
-	Shards     int     `json:"shards"`
-	BuildMS    float64 `json:"buildMs"`
-	Queries    int64   `json:"queries"`
-	Errors     int64   `json:"errors"`
-	Cancelled  int64   `json:"cancelled"`
-	Limited    int64   `json:"limited"`
-	Candidates int64   `json:"candidates"`
-	Results    int64   `json:"results"`
-	Joins      int64   `json:"joins"`
-	JoinPairs  int64   `json:"joinPairs"`
-	FilterMS   float64 `json:"filterMs"`
-	VerifyMS   float64 `json:"verifyMs"`
-	WallMS     float64 `json:"wallMs"`
+	Dataset string  `json:"dataset"`
+	N       int     `json:"n"`
+	Tau     float64 `json:"tau"`
+	Shards  int     `json:"shards"`
+	BuildMS float64 `json:"buildMs"`
+	// SnapshotHash is the corpus's content address (see corpusHash).
+	SnapshotHash string  `json:"snapshotHash,omitempty"`
+	Queries      int64   `json:"queries"`
+	Errors       int64   `json:"errors"`
+	Cancelled    int64   `json:"cancelled"`
+	Limited      int64   `json:"limited"`
+	Candidates   int64   `json:"candidates"`
+	Results      int64   `json:"results"`
+	Joins        int64   `json:"joins"`
+	JoinPairs    int64   `json:"joinPairs"`
+	FilterMS     float64 `json:"filterMs"`
+	VerifyMS     float64 `json:"verifyMs"`
+	WallMS       float64 `json:"wallMs"`
 }
 
 // StatsResponse is the /v1/stats payload.
@@ -1416,22 +1591,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		// monotonic over the server's lifetime and survive reloads.
 		m := e.met
 		resp.Problems[string(p)] = ProblemStats{
-			Dataset:    e.dataset,
-			N:          e.index.Len(),
-			Tau:        e.index.Tau(),
-			Shards:     shards,
-			BuildMS:    e.buildMS,
-			Queries:    m.searches.Value(),
-			Errors:     m.errors.Value(),
-			Cancelled:  m.cancelled.Value(),
-			Limited:    m.limited.Value(),
-			Candidates: m.candidates.Value(),
-			Results:    m.results.Value(),
-			Joins:      m.joins.Value(),
-			JoinPairs:  m.joinPairs.Value(),
-			FilterMS:   float64(m.filterNS.Value()) / 1e6,
-			VerifyMS:   float64(m.verifyNS.Value()) / 1e6,
-			WallMS:     float64(m.wallNS.Value()) / 1e6,
+			Dataset:      e.dataset,
+			N:            e.index.Len(),
+			Tau:          e.index.Tau(),
+			Shards:       shards,
+			BuildMS:      e.buildMS,
+			SnapshotHash: e.hash,
+			Queries:      m.searches.Value(),
+			Errors:       m.errors.Value(),
+			Cancelled:    m.cancelled.Value(),
+			Limited:      m.limited.Value(),
+			Candidates:   m.candidates.Value(),
+			Results:      m.results.Value(),
+			Joins:        m.joins.Value(),
+			JoinPairs:    m.joinPairs.Value(),
+			FilterMS:     float64(m.filterNS.Value()) / 1e6,
+			VerifyMS:     float64(m.verifyNS.Value()) / 1e6,
+			WallMS:       float64(m.wallNS.Value()) / 1e6,
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -33,8 +33,14 @@ type pkScratch struct {
 	counts  []uint16
 	touched []int32
 	boxes   core.Boxes
-	cnt     []int
-	t       []float64
+	// bv is boxes pre-converted to the filter's interface type: the
+	// conversion materializes an interface value, so doing it per probe
+	// costs one heap allocation per row of a join tile. Converting once
+	// at pool construction makes it free on the hot path — both views
+	// share the same backing array.
+	bv  core.BoxValues
+	cnt []int
+	t   []float64
 	// filter is the pooled chain filter, reconfigured in place per
 	// search so the hot path allocates neither the Filter nor its
 	// prefix-sum array.
@@ -96,12 +102,14 @@ func NewPKWiseDB(sets []tokenset.Set, cfg Config) (*PKWiseDB, error) {
 func (db *PKWiseDB) initRuntime() {
 	m := db.cfg.M
 	db.scratch.New = func() any {
-		return &pkScratch{
+		s := &pkScratch{
 			counts: make([]uint16, len(db.sets)*(m-1)),
 			boxes:  make(core.Boxes, m),
 			cnt:    make([]int, m),
 			t:      make([]float64, m),
 		}
+		s.bv = s.boxes
+		return s
 	}
 }
 
@@ -261,15 +269,13 @@ func (db *PKWiseDB) search(q tokenset.Set, chainLength int, verify, wantSim bool
 	s.touched = touched
 	st.Touched = len(touched)
 
-	// The boxes scratch converts to core.BoxValues once here; decide
-	// writes through the concrete slice, the filter reads through the
-	// interface, both over the same backing array.
+	// decide writes through the concrete boxes slice, the filter reads
+	// through the pooled s.bv interface view of the same backing array.
 	boxes := s.boxes
-	var bv core.BoxValues = boxes
 	results := s.results
 	for _, id := range touched {
 		base := int(id) * (m - 1)
-		if db.decide(plan, id, counts[base:base+m-1], boxes, bv, filter, l, &st) && verify {
+		if db.decide(plan, id, counts[base:base+m-1], boxes, s.bv, filter, l, &st) && verify {
 			x := db.sets[id]
 			if wantSim {
 				// The exact overlap replaces the early-exit threshold
@@ -361,11 +367,10 @@ func (db *PKWiseDB) SearchRangeAppend(q tokenset.Set, chainLength int, skipVerif
 	st.Touched += len(touched)
 
 	boxes := s.boxes
-	var bv core.BoxValues = boxes
 	results := s.results
 	for _, id := range touched {
 		base := int(id) * (m - 1)
-		if db.decide(plan, id, counts[base:base+m-1], boxes, bv, filter, l, st) && !skipVerify {
+		if db.decide(plan, id, counts[base:base+m-1], boxes, s.bv, filter, l, st) && !skipVerify {
 			x := db.sets[id]
 			if tokenset.OverlapAtLeast(x, q, cfg.pairThreshold(len(x), len(q))) {
 				results = append(results, int(id))

@@ -1,27 +1,54 @@
 #!/usr/bin/env bash
-# with-daemon.sh — boot pigeonringd, wait for health, run a command,
-# kill the daemon. The shared harness of the CI smoke jobs: the boot /
-# health-poll / teardown dance lives here once, and the daemon's
-# stderr is appended to a log file the jobs upload when they fail.
+# with-daemon.sh — boot one or more pigeonringd processes, wait for
+# health, run a command, kill them all. The shared harness of the CI
+# smoke jobs: the boot / health-poll / teardown dance lives here once,
+# and each daemon's stderr is appended to a log file the jobs upload
+# when they fail.
 #
-#   with-daemon.sh <addr> <logfile> [daemon flag...] -- <cmd> [arg...]
+#   with-daemon.sh <addr> <logfile> [daemon flag...] \
+#                  [++ <addr> <logfile> [daemon flag...]]... -- <cmd> [arg...]
 #
-# The daemon binary is ./pigeonringd unless $PIGEONRINGD overrides it.
-# The command runs once the daemon answers /v1/healthz on <addr>;
-# whatever it returns, the daemon is killed and reaped before this
+# Each "++"-separated group boots one daemon on its own address with
+# its own log and flags; a single group is the original single-daemon
+# form. The daemon binary is ./pigeonringd unless $PIGEONRINGD
+# overrides it. The command runs once every daemon answers
+# /v1/healthz on its address, with the daemons' pids exported as
+# $PIGEONRINGD_PIDS (space-separated, in group order) so fault-
+# injection tests can kill a specific process. Whatever the command
+# returns, every surviving daemon is killed and reaped before this
 # script exits with the command's status.
 set -euo pipefail
 
 if [ $# -lt 4 ]; then
-  echo "usage: $0 <addr> <logfile> [daemon flag...] -- <cmd> [arg...]" >&2
+  echo "usage: $0 <addr> <logfile> [daemon flag...] [++ <addr> <logfile> [daemon flag...]]... -- <cmd> [arg...]" >&2
   exit 2
 fi
-addr=$1
-log=$2
-shift 2
-flags=()
+
+addrs=()
+pids=()
+logs=()
+
+boot() { # boot <addr> <logfile> [flag...]
+  local addr=$1 log=$2
+  shift 2
+  "${PIGEONRINGD:-./pigeonringd}" -addr "$addr" "$@" 2>>"$log" &
+  addrs+=("$addr")
+  pids+=("$!")
+  logs+=("$log")
+}
+
+group=()
 while [ $# -gt 0 ] && [ "$1" != "--" ]; do
-  flags+=("$1")
+  if [ "$1" = "++" ]; then
+    if [ "${#group[@]}" -lt 2 ]; then
+      echo "$0: daemon group needs at least <addr> <logfile>" >&2
+      exit 2
+    fi
+    boot "${group[@]}"
+    group=()
+  else
+    group+=("$1")
+  fi
   shift
 done
 if [ $# -eq 0 ]; then
@@ -29,23 +56,29 @@ if [ $# -eq 0 ]; then
   exit 2
 fi
 shift
-
-"${PIGEONRINGD:-./pigeonringd}" -addr "$addr" "${flags[@]}" 2>>"$log" &
-pid=$!
-trap 'kill "$pid" 2>/dev/null || true; wait "$pid" 2>/dev/null || true' EXIT
-
-up=""
-for _ in $(seq 1 50); do
-  if curl -sf "http://$addr/v1/healthz" >/dev/null 2>&1; then
-    up=1
-    break
-  fi
-  sleep 0.2
-done
-if [ -z "$up" ]; then
-  echo "$0: daemon on $addr not healthy after 10s; its stderr:" >&2
-  cat "$log" >&2 || true
-  exit 1
+if [ "${#group[@]}" -lt 2 ]; then
+  echo "$0: daemon group needs at least <addr> <logfile>" >&2
+  exit 2
 fi
+boot "${group[@]}"
 
-"$@"
+trap 'for p in "${pids[@]}"; do kill "$p" 2>/dev/null || true; done
+      for p in "${pids[@]}"; do wait "$p" 2>/dev/null || true; done' EXIT
+
+for i in "${!addrs[@]}"; do
+  up=""
+  for _ in $(seq 1 50); do
+    if curl -sf "http://${addrs[$i]}/v1/healthz" >/dev/null 2>&1; then
+      up=1
+      break
+    fi
+    sleep 0.2
+  done
+  if [ -z "$up" ]; then
+    echo "$0: daemon on ${addrs[$i]} not healthy after 10s; its stderr:" >&2
+    cat "${logs[$i]}" >&2 || true
+    exit 1
+  fi
+done
+
+PIGEONRINGD_PIDS="${pids[*]}" "$@"
